@@ -1,0 +1,84 @@
+package coopmrm
+
+// One benchmark per paper artefact (table/figure/narrative), as
+// indexed in DESIGN.md. Each iteration regenerates the corresponding
+// experiment in quick mode; run with
+//
+//	go test -bench=. -benchmem .
+//
+// The absolute wall-clock numbers measure the simulator, not the
+// authors' vehicles; EXPERIMENTS.md records the reproduced shapes.
+
+import "testing"
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := ExperimentByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		table := e.Run(Options{Quick: true, Seed: int64(i + 1)})
+		if len(table.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+// BenchmarkE1Fig1Hierarchy regenerates Fig. 1a/1b (individual MRM/MRC
+// hierarchy with mid-MRM fallback).
+func BenchmarkE1Fig1Hierarchy(b *testing.B) { benchExperiment(b, "E1") }
+
+// BenchmarkE2Fig2Granularity regenerates Fig. 2 (granularity vs
+// productivity vs safety-case size).
+func BenchmarkE2Fig2Granularity(b *testing.B) { benchExperiment(b, "E2") }
+
+// BenchmarkE3Table1Matrix regenerates Table I (MRM/MRC capability per
+// class).
+func BenchmarkE3Table1Matrix(b *testing.B) { benchExperiment(b, "E3") }
+
+// BenchmarkE4Degradation regenerates the Sec. III-B cases (i)-(iv).
+func BenchmarkE4Degradation(b *testing.B) { benchExperiment(b, "E4") }
+
+// BenchmarkE5HarbourEscalation regenerates the Sec. III-C MRC1->MRC2
+// narrative.
+func BenchmarkE5HarbourEscalation(b *testing.B) { benchExperiment(b, "E5") }
+
+// BenchmarkE6StatusSharing regenerates the Sec. IV-A status-sharing
+// mine example.
+func BenchmarkE6StatusSharing(b *testing.B) { benchExperiment(b, "E6") }
+
+// BenchmarkE7IntentSharing regenerates the Sec. IV-A intent-sharing
+// freeway example.
+func BenchmarkE7IntentSharing(b *testing.B) { benchExperiment(b, "E7") }
+
+// BenchmarkE8AgreementSeeking regenerates the Sec. IV-A
+// agreement-seeking examples (gap consent, evacuation).
+func BenchmarkE8AgreementSeeking(b *testing.B) { benchExperiment(b, "E8") }
+
+// BenchmarkE9Prescriptive regenerates the Sec. IV-A prescriptive
+// examples (pocket order, flood shutdown).
+func BenchmarkE9Prescriptive(b *testing.B) { benchExperiment(b, "E9") }
+
+// BenchmarkE10Coordinated regenerates the Sec. IV-B coordinated
+// examples.
+func BenchmarkE10Coordinated(b *testing.B) { benchExperiment(b, "E10") }
+
+// BenchmarkE11Choreographed regenerates the Sec. IV-B choreographed
+// example (check-in deadlines).
+func BenchmarkE11Choreographed(b *testing.B) { benchExperiment(b, "E11") }
+
+// BenchmarkE12Orchestrated regenerates the Sec. IV-B orchestrated
+// examples (TMS rerouting, global MRC styles).
+func BenchmarkE12Orchestrated(b *testing.B) { benchExperiment(b, "E12") }
+
+// BenchmarkE13Concerted regenerates the Definition 3 invariant check.
+func BenchmarkE13Concerted(b *testing.B) { benchExperiment(b, "E13") }
+
+// BenchmarkE14Baseline regenerates the class-vs-baseline comparison.
+func BenchmarkE14Baseline(b *testing.B) { benchExperiment(b, "E14") }
+
+// BenchmarkE15AutoRecovery regenerates the future-work autonomous
+// recovery evaluation.
+func BenchmarkE15AutoRecovery(b *testing.B) { benchExperiment(b, "E15") }

@@ -1,0 +1,78 @@
+// Command experiments regenerates every table and figure of the paper
+// as simulation outputs (the E1..E15 index in DESIGN.md).
+//
+// Usage:
+//
+//	experiments [-run E3,E5] [-quick] [-seed 7] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"coopmrm"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	runIDs := fs.String("run", "", "comma-separated experiment/ablation IDs (default: all experiments)")
+	quick := fs.Bool("quick", false, "shrink sweeps and horizons")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	list := fs.Bool("list", false, "list experiments and exit")
+	ablations := fs.Bool("ablations", false, "run the design ablations (A1..A5) instead of the experiments")
+	format := fs.String("format", "text", "output format: text | csv | markdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range append(coopmrm.AllExperiments(), coopmrm.AllAblations()...) {
+			fmt.Printf("%-4s %-55s reproduces %s\n", e.ID, e.Title, e.Paper)
+		}
+		return nil
+	}
+
+	selected := coopmrm.AllExperiments()
+	if *ablations {
+		selected = coopmrm.AllAblations()
+	}
+	if *runIDs != "" {
+		selected = selected[:0]
+		for _, id := range strings.Split(*runIDs, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := coopmrm.ExperimentByID(id)
+			if !ok {
+				e, ok = coopmrm.AblationByID(id)
+			}
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (try -list)", id)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	opt := coopmrm.Options{Seed: *seed, Quick: *quick}
+	for _, e := range selected {
+		table := e.Run(opt)
+		switch *format {
+		case "text":
+			fmt.Println(table.Render())
+		case "csv":
+			fmt.Printf("# %s — %s\n%s\n", table.ID, table.Title, table.CSV())
+		case "markdown":
+			fmt.Println(table.Markdown())
+		default:
+			return fmt.Errorf("unknown format %q", *format)
+		}
+	}
+	return nil
+}

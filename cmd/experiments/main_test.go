@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if err := run([]string{"-run", "E99"}); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestRunSingleQuick(t *testing.T) {
+	if err := run([]string{"-run", "E13", "-quick"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAblationByID(t *testing.T) {
+	if err := run([]string{"-run", "A4", "-quick"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFormats(t *testing.T) {
+	for _, f := range []string{"csv", "markdown"} {
+		if err := run([]string{"-run", "E13", "-quick", "-format", f}); err != nil {
+			t.Errorf("format %s: %v", f, err)
+		}
+	}
+	if err := run([]string{"-run", "E13", "-quick", "-format", "xml"}); err == nil {
+		t.Error("unknown format should error")
+	}
+}

@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestRunGranularities(t *testing.T) {
+	for _, g := range []string{"global_only", "per_group", "per_constituent"} {
+		if err := run([]string{"-granularity", g}); err != nil {
+			t.Errorf("run(%s): %v", g, err)
+		}
+	}
+	if err := run([]string{"-granularity", "nope"}); err == nil {
+		t.Error("unknown granularity should error")
+	}
+	if err := run([]string{"-pairs", "3", "-trucks", "2", "-tree"}); err != nil {
+		t.Errorf("tree render: %v", err)
+	}
+}
+
+func TestBuildSpecShape(t *testing.T) {
+	spec := buildSpec(2, 2, 3, true)
+	if len(spec.Constituents) != 6 {
+		t.Errorf("constituents = %d, want 6", len(spec.Constituents))
+	}
+	if spec.Groups["truck2_1"] != "pair2" {
+		t.Errorf("groups = %v", spec.Groups)
+	}
+	if spec.MRCLevels != 3 || !spec.SharedSpace {
+		t.Error("spec knobs not applied")
+	}
+}

@@ -1,0 +1,23 @@
+// Package coopmrm is a simulation framework for minimal risk
+// manoeuvre (MRM) and minimal risk condition (MRC) strategies of
+// cooperative and collaborative automated vehicles, reproducing
+//
+//	Vu, Warg, Thorsén, Ursing, Sunnerstam, Holler, Bergenhem, Cosmin:
+//	"Minimal Risk Manoeuvre Strategies for Cooperative and
+//	Collaborative Automated Vehicles", SSIV @ DSN 2023.
+//
+// The paper defines global and local MRCs, concerted MRMs, and
+// permanent performance degradation for multi-vehicle systems, and
+// characterises seven interaction classes (Table I). Its future work
+// calls for simulations of those concepts; this module is that
+// simulation system.
+//
+// The root package exposes the experiment harness that regenerates
+// every figure, table and illustrative scenario of the paper as a
+// quantified simulation (see EXPERIMENTS.md). The building blocks
+// live under internal/: the deterministic simulation engine (sim),
+// the world and vehicle substrates (world, vehicle, sensor, comm,
+// fault, odd), the MRM/MRC core (core), the interaction-class
+// policies (coop, collab, platoon), scenario composition (scenario),
+// and analysis (metrics, safetycase, trace).
+package coopmrm

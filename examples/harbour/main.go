@@ -1,0 +1,75 @@
+// Harbour: the paper's Sec. III-C hierarchy-of-MRCs narrative. An
+// automated crane unloads containers and forklifts stack them. Cold
+// rain raises the traction risk beyond the site limit: the supervisor
+// aborts the common strategic goal with MRM1 into MRC1 — a local MRC
+// where the crane halts while forklifts finish the containers already
+// unloaded and then park. When a forklift indicates slipping during
+// MRM1, MRM2 into MRC2 follows: the global MRC, everything stops
+// immediately and loads are set down.
+//
+// Run with: go run ./examples/harbour
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"coopmrm/internal/fault"
+	"coopmrm/internal/scenario"
+	"coopmrm/internal/sim"
+	"coopmrm/internal/world"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "harbour:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	weather := world.MustWeatherSchedule(
+		world.WeatherChange{At: 75 * time.Second, Condition: world.Rain, TemperatureC: 2},
+	)
+	rig, err := scenario.NewHarbour(scenario.HarbourConfig{
+		Forklifts: 3,
+		TwoLevel:  true,
+		Weather:   weather,
+		Faults: []fault.Fault{{
+			ID: "slip", Target: "forklift2", Kind: fault.KindBrake,
+			Severity: 0.5, Permanent: true, At: 130 * time.Second,
+		}},
+	})
+	if err != nil {
+		return err
+	}
+
+	labels := map[int]string{
+		0: "nominal: unloading and stacking",
+		1: "MRC1 (local): crane halted, forklifts finishing and parking",
+		2: "MRC2 (global): immediate stop, loads set down",
+	}
+	last := -1
+	for t := 0; t < 24; t++ {
+		rig.Run(10 * time.Second)
+		if lvl := rig.Supervisor.Level(); lvl != last {
+			last = lvl
+			fmt.Printf("t=%3.0fs  -> level %d: %s (containers stacked: %.0f)\n",
+				rig.Engine.Env().Clock.Now().Seconds(), lvl, labels[lvl], rig.Delivered())
+		}
+	}
+
+	fmt.Println("\nfinal states:")
+	for _, c := range rig.All() {
+		fmt.Printf("  %-10s mode=%-8s at %v\n", c.ID(), c.Mode(), c.Body().Position())
+	}
+	log := rig.Engine.Env().Log
+	if ev, ok := log.First(sim.EventMRCLocal); ok {
+		fmt.Printf("\nMRM1 trigger: %s\n", ev.Detail)
+	}
+	if ev, ok := log.First(sim.EventMRCGlobal); ok {
+		fmt.Printf("MRM2 trigger: %s\n", ev.Detail)
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+// Mine: the paper's Sec. IV-A cooperative examples in a narrow mine.
+//
+//  1. Status-sharing: a truck stranded blind in the tunnel broadcasts
+//     its stopped position; the others reroute around it and keep
+//     hauling (only individual MRCs exist in this class).
+//  2. Prescriptive: the control room orders a truck into a passing
+//     pocket so a large machine can pass (local MRC), then closes the
+//     whole site (global MRC).
+//
+// Run with: go run ./examples/mine
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"coopmrm/internal/fault"
+	"coopmrm/internal/geom"
+	"coopmrm/internal/scenario"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mine:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("=== status-sharing: reroute around a stranded truck ===")
+	if err := statusSharing(); err != nil {
+		return err
+	}
+	fmt.Println("\n=== prescriptive: pocket order, then site closure ===")
+	return prescriptive()
+}
+
+func statusSharing() error {
+	rig, err := scenario.NewQuarry(scenario.QuarryConfig{
+		Pairs: 2, TrucksPerPair: 2, Policy: scenario.PolicyStatusSharing,
+	})
+	if err != nil {
+		return err
+	}
+	// Strand the first truck mid-tunnel, blind.
+	victim := rig.Trucks[0]
+	victim.Body().Teleport(geom.Pose{Pos: geom.V(150, 0)})
+	victim.ApplyFault(fault.Fault{ID: "blind", Target: victim.ID(),
+		Kind: fault.KindSensor, Severity: 1, Permanent: true})
+
+	rig.Run(4 * time.Minute)
+	fmt.Printf("stranded: %s at %v (mode %s)\n",
+		victim.ID(), victim.Body().Position(), victim.Mode())
+	fmt.Printf("survivors delivered %.0f loads by rerouting through the alternate drift\n",
+		rig.Delivered())
+	for i, c := range rig.Trucks[1:] {
+		fmt.Printf("  %-10s avoids tunnel node: %v\n",
+			c.ID(), rig.Hauls[i+1].Avoided("mid") || rig.Hauls[i+1].AvoidedEdge("load", "mid") ||
+				rig.Hauls[i+1].AvoidedEdge("mid", "dep"))
+	}
+	return nil
+}
+
+func prescriptive() error {
+	rig, err := scenario.NewQuarry(scenario.QuarryConfig{
+		Pairs: 2, TrucksPerPair: 2, Policy: scenario.PolicyPrescriptive,
+	})
+	if err != nil {
+		return err
+	}
+	rig.Run(15 * time.Second)
+
+	// Local: the small truck yields the tunnel.
+	rig.Authority.CommandMRC(rig.Engine.Env(), "truck1_1", "pocket",
+		"large machine needs the tunnel")
+	rig.Run(2 * time.Minute)
+	fmt.Printf("truck1_1: mode=%s in %q (local MRC; the others keep working: %.0f loads)\n",
+		rig.Trucks[0].Mode(), rig.Trucks[0].CurrentMRC().ID, rig.Delivered())
+
+	// Global: flooding closes the site.
+	rig.Authority.CommandAllMRC(rig.Engine.Env(), "parking", "flooding")
+	for _, d := range rig.Diggers {
+		d.TriggerMRMTo(rig.Engine.Env(), "parking", "flooding")
+	}
+	rig.Run(3 * time.Minute)
+	stopped := 0
+	for _, c := range rig.All() {
+		if c.InMRC() {
+			stopped++
+		}
+	}
+	fmt.Printf("after the site closure: %d/%d constituents in MRC (global)\n",
+		stopped, len(rig.All()))
+	return nil
+}

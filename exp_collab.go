@@ -1,0 +1,243 @@
+package coopmrm
+
+import (
+	"fmt"
+	"time"
+
+	"coopmrm/internal/collab"
+	"coopmrm/internal/fault"
+	"coopmrm/internal/scenario"
+	"coopmrm/internal/sim"
+)
+
+// RunE10 reproduces the Sec. IV-B coordinated examples: (a) a truck
+// reaches MRC and the peers agree on new routes (local MRC); (b) the
+// lone digger fails, stranding the trucks, and all agree to park
+// (global MRC); (c) every constituent loses track of the human worker
+// — a common-cause failure forcing everyone to MRC.
+func RunE10(opt Options) Table {
+	opt = opt.withDefaults()
+	t := Table{
+		ID:     "E10",
+		Title:  "coordinated: local, global and common-cause MRCs",
+		Paper:  "Sec. IV-B (coordinated)",
+		Header: []string{"probe", "scope", "in_mrc", "continuing", "deliveries_after"},
+	}
+	horizon := 5 * time.Minute
+	if opt.Quick {
+		horizon = 2 * time.Minute
+	}
+
+	// (a) local: one truck fails; peers reroute and continue.
+	{
+		rig := mustQuarry(scenario.QuarryConfig{
+			Pairs: 2, TrucksPerPair: 2, Policy: scenario.PolicyCoordinated, Seed: opt.Seed,
+			Faults: []fault.Fault{{ID: "t", Target: "truck1_1", Kind: fault.KindSensor,
+				Severity: 1, Permanent: true, At: 45 * time.Second}},
+		})
+		rig.Run(50 * time.Second)
+		before := rig.Delivered()
+		rig.Run(horizon)
+		inMRC, cont := countModes(rig)
+		t.AddRow("(a) truck fails", "local",
+			fmt.Sprintf("%d", inMRC), fmt.Sprintf("%d", cont), f1(rig.Delivered()-before))
+	}
+
+	// (b) global: the lone digger fails.
+	{
+		rig := mustQuarry(scenario.QuarryConfig{
+			Pairs: 1, TrucksPerPair: 3, Policy: scenario.PolicyCoordinated, Seed: opt.Seed,
+			Faults: []fault.Fault{{ID: "d", Target: "digger1", Kind: fault.KindSensor,
+				Severity: 1, Permanent: true, At: 45 * time.Second}},
+		})
+		rig.Run(50 * time.Second)
+		before := rig.Delivered()
+		rig.Run(horizon)
+		inMRC, cont := countModes(rig)
+		t.AddRow("(b) lone digger fails", "global",
+			fmt.Sprintf("%d", inMRC), fmt.Sprintf("%d", cont), f1(rig.Delivered()-before))
+	}
+
+	// (c) common cause: the human tracking link drops for everyone.
+	{
+		rig := mustQuarry(scenario.QuarryConfig{
+			Pairs: 2, TrucksPerPair: 2, Policy: scenario.PolicyCoordinated, Seed: opt.Seed,
+		})
+		var members []string
+		for _, c := range rig.All() {
+			members = append(members, c.ID())
+		}
+		root := fault.Fault{ID: "human-lost", Kind: fault.KindLocalization,
+			Severity: 1, Permanent: true, At: 45 * time.Second}
+		rig.Injector.MustSchedule(fault.CommonCause(root, members...)...)
+		rig.Run(50 * time.Second)
+		before := rig.Delivered()
+		rig.Run(horizon)
+		inMRC, cont := countModes(rig)
+		t.AddRow("(c) human lost (common cause)", "global",
+			fmt.Sprintf("%d", inMRC), fmt.Sprintf("%d", cont), f1(rig.Delivered()-before))
+	}
+	return t
+}
+
+func countModes(rig *scenario.QuarryRig) (inMRC, operational int) {
+	for _, c := range rig.All() {
+		switch {
+		case c.InMRC():
+			inMRC++
+		case c.Operational():
+			operational++
+		}
+	}
+	return inMRC, operational
+}
+
+// RunE11 reproduces the Sec. IV-B choreographed example: no
+// communication; a missed check-in at the deposit triggers the
+// designed response. The deadline sweep measures detection latency;
+// the two designed responses (alternate route vs halt) show the
+// designed-in local/global alternatives.
+func RunE11(opt Options) Table {
+	opt = opt.withDefaults()
+	t := Table{
+		ID:     "E11",
+		Title:  "choreographed: check-in deadlines and designed responses",
+		Paper:  "Sec. IV-B (choreographed)",
+		Header: []string{"deadline_s", "response", "detect_latency_s", "survivors_operational", "deliveries_after_fault"},
+		Note:   "truck1_1 dies silently at t=90s; no V2X exists in this class",
+	}
+	deadlines := []time.Duration{60 * time.Second, 120 * time.Second, 240 * time.Second}
+	responses := []collab.Response{collab.ResponseAlternateRoute, collab.ResponseHalt}
+	if opt.Quick {
+		deadlines = deadlines[:2]
+		responses = responses[:1]
+	}
+	for _, resp := range responses {
+		for _, dl := range deadlines {
+			latency, detected, survivors, delivered := runE11Arm(opt.Seed, dl, resp, opt)
+			lat := "not detected"
+			switch {
+			case detected && latency >= 0:
+				lat = f1(latency.Seconds())
+			case detected:
+				// The designed response fired before the fault: the
+				// deadline is shorter than a healthy haul cycle.
+				lat = "false alarm (deadline < cycle)"
+			}
+			t.AddRow(f1(dl.Seconds()), resp.String(), lat,
+				fmt.Sprintf("%d", survivors), f1(delivered))
+		}
+	}
+	return t
+}
+
+func runE11Arm(seed int64, deadline time.Duration, resp collab.Response, opt Options) (latency time.Duration, detected bool, survivors int, delivered float64) {
+	rig := mustQuarry(scenario.QuarryConfig{
+		Pairs: 2, TrucksPerPair: 2, Policy: scenario.PolicyChoreographed, Seed: seed,
+		Faults: []fault.Fault{{ID: "silent", Target: "truck1_1", Kind: fault.KindSensor,
+			Severity: 1, Permanent: true, At: 90 * time.Second}},
+	})
+	for _, pol := range rig.Policies {
+		if ch, ok := pol.(*collab.Choreographed); ok {
+			ch.Deadline = deadline
+			ch.Response = resp
+		}
+	}
+	rig.Run(95 * time.Second)
+	before := rig.Delivered()
+	horizon := 8 * time.Minute
+	if opt.Quick {
+		horizon = 4 * time.Minute
+	}
+	rig.Run(horizon)
+
+	latency = -1
+	kind := sim.EventMRCLocal
+	if resp == collab.ResponseHalt {
+		kind = sim.EventMRCGlobal
+	}
+	if ev, ok := rig.Engine.Env().Log.First(kind); ok {
+		detected = true
+		latency = ev.Time - 90*time.Second
+	}
+	for _, c := range rig.Trucks[1:] {
+		if c.Operational() {
+			survivors++
+		}
+	}
+	return latency, detected, survivors, rig.Delivered() - before
+}
+
+// RunE12 reproduces the Sec. IV-B orchestrated examples: the TMS
+// reroutes and reassigns work when a truck reaches MRC (local), and
+// when the lone digger fails it stops everyone — either immediately
+// or via the concerted drive to the designated parking, whose lower
+// residual stop risk the experiment measures.
+func RunE12(opt Options) Table {
+	opt = opt.withDefaults()
+	t := Table{
+		ID:     "E12",
+		Title:  "orchestrated: TMS rerouting and global MRC styles",
+		Paper:  "Sec. IV-B (orchestrated)",
+		Header: []string{"probe", "tasks_done", "global_issued", "mean_stop_risk", "outcome"},
+	}
+	horizon := 6 * time.Minute
+	if opt.Quick {
+		horizon = 3 * time.Minute
+	}
+
+	// (a) local: a truck fails; the TMS reassigns its tasks.
+	{
+		rig := mustQuarry(scenario.QuarryConfig{
+			Pairs: 1, TrucksPerPair: 3, Policy: scenario.PolicyOrchestrated,
+			Concerted: true, Seed: opt.Seed,
+			Faults: []fault.Fault{{ID: "t", Target: "truck1_1", Kind: fault.KindSensor,
+				Severity: 1, Permanent: true, At: 60 * time.Second}},
+		})
+		rig.Run(horizon)
+		t.AddRow("(a) truck fails",
+			fmt.Sprintf("%d", rig.Board.Stats().Done),
+			yesno(rig.Director.GlobalIssued()),
+			f2(meanStopRisk(rig)),
+			"tasks reassigned, survivors continue")
+	}
+
+	// (b) digger fails: global, immediate halt vs concerted park.
+	for _, concerted := range []bool{false, true} {
+		rig := mustQuarry(scenario.QuarryConfig{
+			Pairs: 1, TrucksPerPair: 3, Policy: scenario.PolicyOrchestrated,
+			Concerted: concerted, Seed: opt.Seed,
+			Faults: []fault.Fault{{ID: "d", Target: "digger1", Kind: fault.KindSensor,
+				Severity: 1, Permanent: true, At: 60 * time.Second}},
+		})
+		rig.Run(horizon)
+		label := "(b) digger fails, immediate halt"
+		outcome := "all stopped in place"
+		if concerted {
+			label = "(b') digger fails, concerted park"
+			outcome = "all parked at the designated area"
+		}
+		t.AddRow(label,
+			fmt.Sprintf("%d", rig.Board.Stats().Done),
+			yesno(rig.Director.GlobalIssued()),
+			f2(meanStopRisk(rig)),
+			outcome)
+	}
+	return t
+}
+
+// meanStopRisk averages the world's residual stop risk over stopped
+// constituents (operational ones excluded).
+func meanStopRisk(rig *scenario.QuarryRig) float64 {
+	sum, n := 0.0, 0
+	for _, c := range rig.All() {
+		if c.InMRC() {
+			sum += rig.World.StopRiskAt(c.Body().Position())
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

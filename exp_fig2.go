@@ -1,0 +1,115 @@
+package coopmrm
+
+import (
+	"fmt"
+	"time"
+
+	"coopmrm/internal/core"
+	"coopmrm/internal/fault"
+	"coopmrm/internal/safetycase"
+	"coopmrm/internal/scenario"
+)
+
+// RunE2 reproduces Fig. 2: the trade-off between MRC granularity,
+// productivity and safety-case size. The same random fault campaigns
+// run against an orchestrated quarry at three granularities (global
+// only, per group, per constituent); the safety-case builder counts
+// the proof obligations each granularity requires.
+//
+// Expected shape (the paper's qualitative claim): productivity
+// increases and the safety case grows as MRCs become more
+// fine-grained.
+func RunE2(opt Options) Table {
+	opt = opt.withDefaults()
+	t := Table{
+		ID:     "E2",
+		Title:  "MRC granularity: productivity vs safety-case size",
+		Paper:  "Fig. 2",
+		Header: []string{"granularity", "pairs", "productivity_units_per_min", "operational_share", "global_mrc_runs", "proof_obligations"},
+		Note:   "mean over identical random fault campaigns; obligations counted by the GSN builder over the same system; the size sweep shows both Fig. 2 axes scaling with the fleet",
+	}
+
+	trucksPerPair := 2
+	sizes := []int{3}
+	if !opt.Quick {
+		sizes = []int{2, 3, 4}
+	}
+	seeds := []int64{opt.Seed, opt.Seed + 1, opt.Seed + 2}
+	horizon := 8 * time.Minute
+	if opt.Quick {
+		seeds = seeds[:1] // the horizon must stay long enough for the
+		// granularity differences to separate from startup noise
+	}
+
+	for _, g := range []core.Granularity{
+		core.GranularityGlobal, core.GranularityGroup, core.GranularityConstituent,
+	} {
+		for _, pairs := range sizes {
+			spec := e2SafetySpec(pairs, trucksPerPair)
+			obligations := map[core.Granularity]int{
+				core.GranularityGlobal:      safetycase.Build(spec, safetycase.GranularityGlobal).Obligations(),
+				core.GranularityGroup:       safetycase.Build(spec, safetycase.GranularityGroup).Obligations(),
+				core.GranularityConstituent: safetycase.Build(spec, safetycase.GranularityConstituent).Obligations(),
+			}
+			var prodSum, opSum float64
+			globals := 0
+			for _, seed := range seeds {
+				prod, opShare, global := runE2Arm(g, pairs, trucksPerPair, seed, horizon)
+				prodSum += prod
+				opSum += opShare
+				if global {
+					globals++
+				}
+			}
+			n := float64(len(seeds))
+			t.AddRow(g.String(), fmt.Sprintf("%d", pairs), f2(prodSum/n), pct(opSum/n),
+				fmt.Sprintf("%d/%d", globals, len(seeds)),
+				fmt.Sprintf("%d", obligations[g]))
+		}
+	}
+	return t
+}
+
+func e2SafetySpec(pairs, trucksPerPair int) safetycase.SystemSpec {
+	spec := safetycase.SystemSpec{
+		MRCLevels:   4, // the site hierarchy depth
+		SharedSpace: true,
+		Groups:      map[string]string{},
+	}
+	for p := 0; p < pairs; p++ {
+		dig := fmt.Sprintf("digger%d", p+1)
+		spec.Constituents = append(spec.Constituents, dig)
+		spec.Groups[dig] = fmt.Sprintf("pair%d", p+1)
+		for k := 0; k < trucksPerPair; k++ {
+			id := fmt.Sprintf("truck%d_%d", p+1, k+1)
+			spec.Constituents = append(spec.Constituents, id)
+			spec.Groups[id] = fmt.Sprintf("pair%d", p+1)
+		}
+	}
+	return spec
+}
+
+func runE2Arm(g core.Granularity, pairs, trucksPerPair int, seed int64, horizon time.Duration) (prod, opShare float64, global bool) {
+	// The campaign: one permanent perception fault on a mid-campaign
+	// truck plus a second on another pair's truck — enough to
+	// differentiate the granularities without (usually) starving all
+	// diggers.
+	faults := []fault.Fault{
+		{ID: "c1", Target: "truck1_1", Kind: fault.KindSensor,
+			Severity: 1, Permanent: true, At: 60 * time.Second},
+		{ID: "c2", Target: "truck2_1", Kind: fault.KindSensor,
+			Severity: 1, Permanent: true, At: 150 * time.Second},
+	}
+	rig := mustQuarry(scenario.QuarryConfig{
+		Pairs: pairs, TrucksPerPair: trucksPerPair,
+		Policy:      scenario.PolicyOrchestrated,
+		Granularity: g,
+		Concerted:   true,
+		Seed:        seed,
+		Faults:      faults,
+	})
+	res := rig.Run(horizon)
+	return rig.Delivered() / horizon.Minutes(),
+		res.Report.OperationalShare,
+		rig.Director.GlobalIssued()
+}

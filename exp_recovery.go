@@ -1,0 +1,120 @@
+package coopmrm
+
+import (
+	"fmt"
+	"time"
+
+	"coopmrm/internal/core"
+	"coopmrm/internal/scenario"
+	"coopmrm/internal/sim"
+	"coopmrm/internal/world"
+)
+
+// RunE15 implements and evaluates the paper's future-work question:
+// "whether a recovery from MRC can be safely handled without human
+// intervention". A heavy-rain burst exits the site ODD and drives the
+// whole quarry to MRC; after the rain clears, the manual arm waits for
+// user interventions while the autonomous arm (AutoRecoveryTransient,
+// with a dwell-time hysteresis) resumes the strategic goal on its own.
+// A flapping arm with oscillating weather checks the hysteresis.
+func RunE15(opt Options) Table {
+	opt = opt.withDefaults()
+	t := Table{
+		ID:     "E15",
+		Title:  "autonomous recovery from transient MRCs (future work)",
+		Paper:  "Sec. V future work",
+		Header: []string{"arm", "mrcs", "interventions", "auto_recoveries", "deliveries", "collisions"},
+		Note:   "heavy rain 60s-150s exits the site ODD; the flapping arm oscillates rain every 30s to probe the dwell hysteresis",
+	}
+	horizon := 8 * time.Minute
+	if opt.Quick {
+		horizon = 4 * time.Minute
+	}
+
+	// Arm 1 — manual: the paper's definitions; a site operator
+	// recovers every vehicle 90s after the rain clears.
+	{
+		rig := e15Rig(opt.Seed, core.AutoRecoveryOff)
+		runE15Weather(rig, false)
+		rig.Run(240 * time.Second) // rain cleared at 150s; operator at 240s
+		env := rig.Engine.Env()
+		for _, c := range rig.All() {
+			if c.InMRC() {
+				c.Recover(env)
+			}
+		}
+		res := rig.Run(horizon - 240*time.Second)
+		t.AddRow(append([]string{"manual (Defs. 1-2)"}, e15Row(rig, res)...)...)
+	}
+
+	// Arm 2 — autonomous transient recovery.
+	{
+		rig := e15Rig(opt.Seed, core.AutoRecoveryTransient)
+		runE15Weather(rig, false)
+		res := rig.Run(horizon)
+		t.AddRow(append([]string{"autonomous (transient)"}, e15Row(rig, res)...)...)
+	}
+
+	// Arm 3 — autonomous under flapping weather: the dwell hysteresis
+	// must prevent oscillating MRC entries/recoveries from thrashing.
+	{
+		rig := e15Rig(opt.Seed, core.AutoRecoveryTransient)
+		runE15Weather(rig, true)
+		res := rig.Run(horizon)
+		t.AddRow(append([]string{"autonomous (flapping)"}, e15Row(rig, res)...)...)
+	}
+	return t
+}
+
+func e15Rig(seed int64, policy core.AutoRecoveryPolicy) *scenario.QuarryRig {
+	rig := mustQuarry(scenario.QuarryConfig{
+		Pairs: 2, TrucksPerPair: 2,
+		Policy: scenario.PolicyStatusSharing,
+		Seed:   seed,
+	})
+	for _, c := range rig.All() {
+		c.AutoRecovery = policy
+		c.RecoveryDwell = 15 * time.Second
+	}
+	return rig
+}
+
+// runE15Weather installs the rain script: one burst, or an oscillation
+// for the flapping arm.
+func runE15Weather(rig *scenario.QuarryRig, flapping bool) {
+	var changes []world.WeatherChange
+	if flapping {
+		for k := 0; k < 8; k++ {
+			at := time.Duration(60+30*k) * time.Second
+			cond, temp := world.HeavyRain, 8.0
+			if k%2 == 1 {
+				cond, temp = world.Clear, 15.0
+			}
+			changes = append(changes, world.WeatherChange{At: at, Condition: cond, TemperatureC: temp})
+		}
+	} else {
+		changes = []world.WeatherChange{
+			{At: 60 * time.Second, Condition: world.HeavyRain, TemperatureC: 8},
+			{At: 150 * time.Second, Condition: world.Clear, TemperatureC: 15},
+		}
+	}
+	sched := world.MustWeatherSchedule(changes...)
+	w := rig.World
+	rig.Engine.AddPreHook(func(env *sim.Env) {
+		sched.Apply(w, env.Clock.Now())
+	})
+}
+
+func e15Row(rig *scenario.QuarryRig, res scenario.Result) []string {
+	auto := 0
+	for _, c := range rig.All() {
+		auto += c.AutoRecovered()
+	}
+	return []string{
+		fmt.Sprintf("%d", res.Log.Count(sim.EventMRCReached)),
+		fmt.Sprintf("%d", res.Report.Interventions),
+		fmt.Sprintf("%d", auto),
+		f1(rig.Delivered()),
+		fmt.Sprintf("%d", res.Report.Collisions),
+	}
+}

@@ -1,0 +1,166 @@
+package coopmrm
+
+import (
+	"fmt"
+	"time"
+
+	"coopmrm/internal/collab"
+	"coopmrm/internal/coop"
+	"coopmrm/internal/fault"
+	"coopmrm/internal/scenario"
+	"coopmrm/internal/sim"
+)
+
+// table1Expected records the MRM/MRC column of the paper's Table I as
+// boolean capabilities per class: can the class realise local MRCs,
+// global MRCs, and concerted MRMs?
+var table1Expected = map[scenario.PolicyKind][3]bool{
+	scenario.PolicyStatusSharing:    {true, false, false},
+	scenario.PolicyIntentSharing:    {true, false, false},
+	scenario.PolicyAgreementSeeking: {true, true, true},
+	scenario.PolicyPrescriptive:     {true, true, true},
+	scenario.PolicyCoordinated:      {true, true, true},
+	scenario.PolicyChoreographed:    {true, true, true},
+	scenario.PolicyOrchestrated:     {true, true, true},
+}
+
+// RunE3 regenerates the MRM/MRC column of Table I by probing every
+// class in the quarry with (a) a single-constituent failure — does
+// the class achieve a local MRC, with the rest continuing? — and (b)
+// the class's global trigger — can it bring the whole system to MRC?
+// The concerted column reports whether a concerted MRM occurred in
+// either probe.
+func RunE3(opt Options) Table {
+	opt = opt.withDefaults()
+	t := Table{
+		ID:     "E3",
+		Title:  "taxonomy matrix: MRM/MRC capability per class",
+		Paper:  "Table I",
+		Header: []string{"class", "local_mrc", "global_mrc", "concerted", "matches_table_I"},
+		Note:   "local probe: one truck fails; global probe: class-specific trigger (evacuation, order, dependency loss, designed response)",
+	}
+	for _, p := range scenario.AllPolicies() {
+		local, global, concerted := probeClass(p, opt)
+		expected, known := table1Expected[p]
+		match := "-"
+		if known {
+			match = yesno(local == expected[0] && global == expected[1] && concerted == expected[2])
+		}
+		t.AddRow(p.String(), yesno(local), yesno(global), yesno(concerted), match)
+	}
+	return t
+}
+
+// probeClass runs the local and global probes for one class.
+func probeClass(p scenario.PolicyKind, opt Options) (local, global, concerted bool) {
+	// The probes need the full horizon even in quick mode: reroutes
+	// and parking drives take simulated minutes to show up in the
+	// delivery counts.
+	horizon := 4 * time.Minute
+
+	// Probe A — local: one truck fails.
+	{
+		rig := mustQuarry(scenario.QuarryConfig{
+			Pairs: 2, Policy: p, Seed: opt.Seed, Concerted: true,
+			Faults: []fault.Fault{{
+				ID: "t", Target: "truck1_1", Kind: fault.KindSensor,
+				Severity: 1, Permanent: true, At: 45 * time.Second,
+			}},
+		})
+		before := 0.0
+		rig.Run(60 * time.Second)
+		before = rig.Delivered()
+		res := rig.Run(horizon - 60*time.Second)
+		failedInMRC := rig.Trucks[0].InMRC()
+		othersOperational := 0
+		for _, c := range rig.All() {
+			if c != rig.Trucks[0] && c.Operational() {
+				othersOperational++
+			}
+		}
+		progressed := rig.Delivered() > before
+		local = failedInMRC && othersOperational > 0 && progressed
+		concerted = concerted || res.Log.Count(sim.EventMRMConcerted) > 0
+	}
+
+	// Probe B — global: class-specific trigger.
+	{
+		rig := mustQuarry(scenario.QuarryConfig{
+			Pairs: 2, Policy: p, Seed: opt.Seed, Concerted: true,
+		})
+		rig.Run(30 * time.Second)
+		triggerGlobal(rig, p)
+		res := rig.Run(horizon)
+		allStopped := true
+		for _, c := range rig.All() {
+			if c.Operational() {
+				allStopped = false
+			}
+		}
+		global = allStopped
+		concerted = concerted || res.Log.Count(sim.EventMRMConcerted) > 0
+	}
+	return local, global, concerted
+}
+
+// triggerGlobal fires the class-appropriate global-MRC mechanism.
+func triggerGlobal(rig *scenario.QuarryRig, p scenario.PolicyKind) {
+	env := rig.Engine.Env()
+	switch p {
+	case scenario.PolicyAgreementSeeking:
+		// Mine fire: one vehicle declares a negotiated evacuation.
+		for _, pol := range rig.Policies {
+			if ag, ok := pol.(*coop.AgreementSeeking); ok {
+				ag.DeclareEvacuation(env)
+				break
+			}
+		}
+		// Diggers are not agreement members; a fire stops them too
+		// (they are part of the site emergency procedure).
+		for _, d := range rig.Diggers {
+			d.TriggerMRMTo(env, "parking", "mine fire evacuation")
+		}
+	case scenario.PolicyPrescriptive:
+		rig.Authority.CommandAllMRC(env, "parking", "flooding: site closed")
+		// Diggers obey the same order via direct command (they carry
+		// no haul policy in this rig).
+		for _, d := range rig.Diggers {
+			d.TriggerMRMTo(env, "parking", "flooding: site closed")
+		}
+	case scenario.PolicyCoordinated, scenario.PolicyOrchestrated:
+		// Dependency loss: every digger fails, stranding all trucks.
+		for i, d := range rig.Diggers {
+			d.ApplyFault(fault.Fault{
+				ID: fmt.Sprintf("dig%d", i), Target: d.ID(),
+				Kind: fault.KindSensor, Severity: 1, Permanent: true,
+			})
+		}
+	case scenario.PolicyChoreographed:
+		// Designed response: flip every member to the halt response
+		// and kill one truck silently.
+		for _, pol := range rig.Policies {
+			if ch, ok := pol.(*collab.Choreographed); ok {
+				ch.Response = collab.ResponseHalt
+				ch.Deadline = 60 * time.Second
+			}
+		}
+		rig.Trucks[0].ApplyFault(fault.Fault{
+			ID: "silent", Target: rig.Trucks[0].ID(),
+			Kind: fault.KindSensor, Severity: 1, Permanent: true,
+		})
+		// The diggers' designed response to a site halt is to stop too.
+		// (Their rule watches the same check-in board in a full
+		// design; here the experiment applies it directly.)
+		for _, d := range rig.Diggers {
+			d.TriggerMRMTo(env, "in_place", "designed response: site halt")
+		}
+	default:
+		// Baseline, status- and intent-sharing have no global-MRC
+		// mechanism: fail one truck and observe that nothing
+		// system-wide happens.
+		rig.Trucks[0].ApplyFault(fault.Fault{
+			ID: "t", Target: rig.Trucks[0].ID(),
+			Kind: fault.KindSensor, Severity: 1, Permanent: true,
+		})
+	}
+}

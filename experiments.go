@@ -1,0 +1,83 @@
+package coopmrm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Options tunes experiment runs.
+type Options struct {
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// Quick shrinks sweeps and horizons for benchmarks and CI.
+	Quick bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Experiment is one entry of the per-experiment index in DESIGN.md.
+type Experiment struct {
+	ID    string
+	Title string
+	Paper string
+	Run   func(Options) Table
+}
+
+// AllExperiments returns the full E1..E15 index in order.
+func AllExperiments() []Experiment {
+	return []Experiment{
+		{"E1", "Individual MRM/MRC hierarchy with mid-MRM fallback", "Fig. 1a/1b", RunE1},
+		{"E2", "MRC granularity: productivity vs safety-case size", "Fig. 2", RunE2},
+		{"E3", "Taxonomy matrix: MRM/MRC capability per class", "Table I", RunE3},
+		{"E4", "Degradation vs MRC classification, cases (i)-(iv)", "Sec. III-B", RunE4},
+		{"E5", "Harbour MRC1->MRC2 escalation", "Sec. III-C", RunE5},
+		{"E6", "Status-sharing reroute around a stranded truck", "Sec. IV-A", RunE6},
+		{"E7", "Intent-sharing during a shoulder MRM", "Sec. IV-A", RunE7},
+		{"E8", "Agreement-seeking: gap consent and evacuation", "Sec. IV-A", RunE8},
+		{"E9", "Prescriptive: pocket order and flood shutdown", "Sec. IV-A", RunE9},
+		{"E10", "Coordinated: local, global and common-cause MRCs", "Sec. IV-B", RunE10},
+		{"E11", "Choreographed: check-in deadlines and designed responses", "Sec. IV-B", RunE11},
+		{"E12", "Orchestrated: TMS rerouting and global MRC styles", "Sec. IV-B", RunE12},
+		{"E13", "Concerted MRM invariant (Definition 3)", "Def. 3", RunE13},
+		{"E14", "Every class vs the individual-AV baseline", "Sec. I motivation", RunE14},
+		{"E15", "Autonomous recovery from transient MRCs", "Sec. V future work", RunE15},
+	}
+}
+
+// ExperimentByID returns the experiment with the given ID.
+func ExperimentByID(id string) (Experiment, bool) {
+	for _, e := range AllExperiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// ExperimentIDs returns all IDs sorted in index order.
+func ExperimentIDs() []string {
+	es := AllExperiments()
+	ids := make([]string, len(es))
+	for i, e := range es {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// sortedKeys is a small helper for deterministic map iteration in
+// experiment code.
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.0f%%", v*100) }

@@ -1,0 +1,3 @@
+module coopmrm
+
+go 1.22

@@ -1,0 +1,460 @@
+package collab
+
+import (
+	"sort"
+	"strconv"
+	"time"
+
+	"coopmrm/internal/geom"
+
+	"coopmrm/internal/agent"
+	"coopmrm/internal/comm"
+	"coopmrm/internal/core"
+	"coopmrm/internal/sim"
+	"coopmrm/internal/tms"
+	"coopmrm/internal/world"
+)
+
+// Director is the directing entity of the orchestrated class — a TMS
+// controlling the whole collaborative system: it assigns tasks from
+// the board, reroutes survivors around members in MRC (local MRC),
+// and on a scope escalation stops everyone, either immediately or via
+// a concerted drive-to-parking (global MRC).
+type Director struct {
+	id    string
+	net   *comm.Network
+	board *tms.Board
+	model *core.DependencyModel
+	// Roles maps constituent -> the role it provides (for task
+	// matching).
+	Roles map[string]string
+	// Granularity widens scope decisions per Fig. 2; Groups feeds the
+	// per-group level.
+	Granularity core.Granularity
+	Groups      map[string]string
+	// Concerted selects the global-MRC style: true commands a
+	// drive-to-ParkMRC, false an immediate HaltMRC.
+	Concerted bool
+	ParkMRC   string
+	HaltMRC   string
+
+	// HeartbeatEvery is the director's heartbeat period in ticks
+	// (default 10); MemberTimeout is the beacon silence after which a
+	// member is presumed lost (default 15s).
+	HeartbeatEvery int64
+	MemberTimeout  time.Duration
+
+	modes        map[string]string
+	nodes        map[string]string
+	lastPos      map[string][2]string // raw x/y payload per member
+	lastSeen     map[string]time.Duration
+	seenOnce     map[string]bool
+	failed       map[string]bool
+	commanded    map[string]bool
+	lastBeatTick int64
+	beatSent     bool
+	globalIssued bool
+}
+
+var _ sim.Entity = (*Director)(nil)
+
+// NewDirector returns a TMS for the given board and dependency model.
+func NewDirector(id string, net *comm.Network, board *tms.Board, model *core.DependencyModel, roles map[string]string) *Director {
+	r := make(map[string]string, len(roles))
+	for k, v := range roles {
+		r[k] = v
+	}
+	return &Director{
+		id:             id,
+		net:            net,
+		board:          board,
+		model:          model,
+		Roles:          r,
+		Granularity:    core.GranularityConstituent,
+		ParkMRC:        "parking",
+		HaltMRC:        "in_place",
+		HeartbeatEvery: 10,
+		MemberTimeout:  15 * time.Second,
+		modes:          make(map[string]string),
+		nodes:          make(map[string]string),
+		lastPos:        make(map[string][2]string),
+		lastSeen:       make(map[string]time.Duration),
+		seenOnce:       make(map[string]bool),
+		failed:         make(map[string]bool),
+		commanded:      make(map[string]bool),
+	}
+}
+
+// ID implements sim.Entity.
+func (d *Director) ID() string { return d.id }
+
+// Board returns the task board.
+func (d *Director) Board() *tms.Board { return d.board }
+
+// GlobalIssued reports whether the director has declared a global
+// MRC.
+func (d *Director) GlobalIssued() bool { return d.globalIssued }
+
+// Mode returns the last reported mode of a member.
+func (d *Director) Mode(id string) string { return d.modes[id] }
+
+// Step implements sim.Entity.
+func (d *Director) Step(env *sim.Env) {
+	for _, m := range d.net.Receive(d.id) {
+		switch m.Topic {
+		case comm.TopicStatus:
+			d.modes[m.From] = m.Get(comm.KeyMode)
+			d.nodes[m.From] = m.Get(comm.KeyNode)
+			d.lastPos[m.From] = [2]string{m.Get(comm.KeyX), m.Get(comm.KeyY)}
+			d.lastSeen[m.From] = env.Clock.Now()
+			d.seenOnce[m.From] = true
+			if d.modes[m.From] == "mrc" && !d.failed[m.From] {
+				d.handleLoss(env, m.From)
+			}
+		case comm.TopicTaskDone:
+			if _, err := d.board.Complete(m.Get(comm.KeyTask)); err == nil {
+				env.EmitFields(sim.EventTaskDone, d.id,
+					m.From+" completed "+m.Get(comm.KeyTask),
+					map[string]string{"task": m.Get(comm.KeyTask), "by": m.From})
+			}
+		}
+	}
+	d.heartbeatIfDue(env)
+	d.checkLiveness(env)
+	if !d.globalIssued {
+		d.assignTasks(env)
+	}
+}
+
+// heartbeatIfDue broadcasts the director's liveness beacon; members
+// that stop hearing it go to MRC unilaterally (Table I, orchestrated).
+func (d *Director) heartbeatIfDue(env *sim.Env) {
+	tick := env.Clock.Tick()
+	if d.beatSent && tick-d.lastBeatTick < d.HeartbeatEvery {
+		return
+	}
+	d.beatSent = true
+	d.lastBeatTick = tick
+	d.net.Send(comm.NewMessage(d.id, comm.Broadcast, comm.TypeHeartbeat, "tms.heartbeat", nil))
+}
+
+// checkLiveness presumes members lost after MemberTimeout of beacon
+// silence — whether their radio died or they stopped entirely, their
+// work must be reassigned and the scope re-resolved.
+func (d *Director) checkLiveness(env *sim.Env) {
+	if d.MemberTimeout <= 0 {
+		return
+	}
+	now := env.Clock.Now()
+	ids := make([]string, 0, len(d.Roles))
+	for id := range d.Roles {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if d.failed[id] || !d.seenOnce[id] {
+			continue
+		}
+		if now-d.lastSeen[id] > d.MemberTimeout {
+			env.EmitFields(sim.EventInfo, d.id,
+				"member "+id+" silent beyond timeout: presumed lost",
+				map[string]string{"member": id})
+			d.handleLoss(env, id)
+		}
+	}
+}
+
+func (d *Director) assignTasks(env *sim.Env) {
+	ids := make([]string, 0, len(d.Roles))
+	for id := range d.Roles {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if d.failed[id] || d.commanded[id] {
+			continue
+		}
+		mode := d.modes[id]
+		if mode != "nominal" && mode != "degraded" {
+			continue // unknown or not operational yet
+		}
+		if len(d.board.AssignedTo(id)) > 0 {
+			continue
+		}
+		t, ok := d.board.NextFor(d.Roles[id])
+		if !ok {
+			continue
+		}
+		if err := d.board.Assign(t.ID, id); err != nil {
+			continue
+		}
+		d.net.Send(comm.NewMessage(d.id, id, comm.TypeTask, comm.TopicTaskAssign,
+			map[string]string{
+				comm.KeyTask: t.ID,
+				"from":       t.From,
+				"to":         t.To,
+				"units":      strconv.FormatFloat(t.Units, 'f', 2, 64),
+			}))
+		env.EmitFields(sim.EventTaskAssigned, d.id, "assigned "+t.ID+" to "+id,
+			map[string]string{"task": t.ID, "to": id})
+	}
+}
+
+func (d *Director) handleLoss(env *sim.Env, lost string) {
+	d.failed[lost] = true
+	// Free the lost member's work and route survivors around it.
+	d.board.ReassignFrom(lost)
+	if node := d.nodes[lost]; node != "" {
+		pos := d.lastPos[lost]
+		d.net.Send(comm.NewMessage(d.id, comm.Broadcast, comm.TypeCommand,
+			comm.TopicCommandRoute, map[string]string{
+				comm.KeyAvoid: node,
+				comm.KeyX:     pos[0],
+				comm.KeyY:     pos[1],
+			}))
+		env.Emit(sim.EventInfo, d.id, "broadcast reroute around "+lost+" near "+node+" at "+pos[0]+","+pos[1])
+	}
+	var failedIDs []string
+	for id, down := range d.failed {
+		if down {
+			failedIDs = append(failedIDs, id)
+		}
+	}
+	sort.Strings(failedIDs)
+	dec := core.ApplyGranularity(
+		d.model.ResolveScope(failedIDs...),
+		d.Granularity, d.Groups, d.model.Constituents())
+
+	if dec.Level == core.ScopeGlobal {
+		d.globalIssued = true
+		aborted := d.board.AbortAll()
+		style := d.HaltMRC
+		if d.Concerted {
+			style = d.ParkMRC
+		}
+		env.EmitFields(sim.EventMRCGlobal, d.id,
+			"TMS global MRC ("+style+"), "+strconv.Itoa(aborted)+" tasks aborted",
+			map[string]string{"mrc": style, "trigger": lost})
+		if d.Concerted {
+			env.Emit(sim.EventMRMConcerted, d.id,
+				"concerted global MRM: joint drive to "+d.ParkMRC)
+		}
+		for id := range d.Roles {
+			if !d.failed[id] && !d.commanded[id] {
+				d.commanded[id] = true
+				d.net.Send(comm.NewMessage(d.id, id, comm.TypeCommand, comm.TopicCommandMRC,
+					map[string]string{comm.KeyMRC: style, comm.KeyReason: "TMS global MRC"}))
+			}
+		}
+		return
+	}
+	// Local: stop exactly the additionally affected members.
+	for _, id := range dec.Affected {
+		if d.failed[id] || d.commanded[id] {
+			continue
+		}
+		d.commanded[id] = true
+		d.board.ReassignFrom(id)
+		env.EmitFields(sim.EventMRCLocal, d.id, "TMS local MRC for "+id+": "+dec.Reasons[id],
+			map[string]string{"target": id, "trigger": lost})
+		d.net.Send(comm.NewMessage(d.id, id, comm.TypeCommand, comm.TopicCommandMRC,
+			map[string]string{comm.KeyMRC: d.ParkMRC, comm.KeyReason: dec.Reasons[id]}))
+	}
+}
+
+// Orchestrated is the member-side policy: beacon status, execute
+// assigned tasks, obey reroute and MRC commands. Members also go to
+// MRC unilaterally on their own failures (their internal assessment
+// keeps running), which the director observes via beacons.
+type Orchestrated struct {
+	c        *core.Constituent
+	net      *comm.Network
+	graph    *world.RouteGraph
+	director string
+	beacon   *coopBeacon
+	// DirectorTimeout is the silence after which the member treats
+	// the directing entity as lost and goes to MRC unilaterally
+	// (Table I; default 20s, 0 disables).
+	DirectorTimeout time.Duration
+	lastDirector    time.Duration
+	heardDirector   bool
+	// Monitor, when set, applies the operational obstacle hold each
+	// tick (wired by the scenario layer with the neighbour targets).
+	Monitor *agent.ObstacleMonitor
+	// World, when set, limits reroute commands to blockages inside
+	// tunnel zones (see coop.Base).
+	World *world.World
+
+	avoid      map[string]bool
+	avoidEdges map[[2]string]bool
+	task       string
+	legs       []string
+	enRoute    bool
+}
+
+var _ sim.Entity = (*Orchestrated)(nil)
+
+// coopBeacon is a minimal status beacon (the coop.Base beacon needs a
+// haul agent, which orchestrated members do not use).
+type coopBeacon struct {
+	period   int64 // ticks between beacons
+	lastTick int64
+	sent     bool
+}
+
+// NewOrchestrated wires the member-side policy reporting to the given
+// director. beaconEvery is in ticks (default 10 when <= 0).
+func NewOrchestrated(c *core.Constituent, net *comm.Network, graph *world.RouteGraph, director string, beaconEvery int64) *Orchestrated {
+	if beaconEvery <= 0 {
+		beaconEvery = 10
+	}
+	return &Orchestrated{
+		c:               c,
+		net:             net,
+		graph:           graph,
+		director:        director,
+		beacon:          &coopBeacon{period: beaconEvery},
+		DirectorTimeout: 20 * time.Second,
+		avoid:           make(map[string]bool),
+		avoidEdges:      make(map[[2]string]bool),
+	}
+}
+
+// ID implements sim.Entity.
+func (p *Orchestrated) ID() string { return p.c.ID() + ":orchestrated" }
+
+// Task returns the current task ID ("" when idle).
+func (p *Orchestrated) Task() string { return p.task }
+
+// Step implements sim.Entity.
+func (p *Orchestrated) Step(env *sim.Env) {
+	for _, m := range p.net.Receive(p.c.ID()) {
+		if m.From == p.director {
+			p.lastDirector = env.Clock.Now()
+			p.heardDirector = true
+		}
+		switch m.Topic {
+		case comm.TopicTaskAssign:
+			p.task = m.Get(comm.KeyTask)
+			p.legs = nil
+			if from := m.Get("from"); from != "" {
+				p.legs = append(p.legs, from)
+			}
+			if to := m.Get("to"); to != "" {
+				p.legs = append(p.legs, to)
+			}
+			p.enRoute = false
+		case comm.TopicCommandMRC:
+			reason := "TMS order: " + m.Get(comm.KeyReason)
+			if mrc := m.Get(comm.KeyMRC); mrc != "" {
+				p.c.TriggerMRMTo(env, mrc, reason)
+			} else {
+				p.c.CommandMRM(env, reason)
+			}
+		case comm.TopicCommandRoute:
+			p.handleReroute(m)
+		}
+	}
+	if p.heardDirector && p.DirectorTimeout > 0 && p.c.Operational() &&
+		env.Clock.Now()-p.lastDirector > p.DirectorTimeout {
+		// Table I: lost communication with the directing entity is a
+		// unilateral MRC trigger for an orchestrated constituent.
+		p.c.TriggerMRM(env, "lost communication with directing entity")
+	}
+	if p.c.Operational() {
+		if p.Monitor != nil {
+			p.Monitor.Apply(env)
+		}
+		p.drive(env)
+	}
+	p.beaconIfDue(env)
+}
+
+// handleReroute avoids the blocked spot: the nearest edge (and node,
+// when the stopped vehicle sits on a junction) of the reported
+// position, falling back to the named node.
+func (p *Orchestrated) handleReroute(m comm.Message) {
+	defer func() { p.enRoute = false }() // replan with the new knowledge
+	xs, ys := m.Get(comm.KeyX), m.Get(comm.KeyY)
+	if xs != "" && ys != "" {
+		x, errX := strconv.ParseFloat(xs, 64)
+		y, errY := strconv.ParseFloat(ys, 64)
+		if errX == nil && errY == nil {
+			pos := geom.V(x, y)
+			if p.World != nil {
+				tunnel := false
+				for _, z := range p.World.ZoneAt(pos) {
+					if z.Kind == world.ZoneTunnel {
+						tunnel = true
+					}
+				}
+				if !tunnel {
+					return // passable: the obstacle monitor handles it
+				}
+			}
+			if ea, eb, d, ok := p.graph.NearestEdge(pos); ok && d < 8 {
+				p.avoidEdges[[2]string{ea, eb}] = true
+				p.avoidEdges[[2]string{eb, ea}] = true
+			} else {
+			}
+			if n, ok := p.graph.NearestNode(pos); ok {
+				if np, ok2 := p.graph.NodePos(n); ok2 && np.Dist(pos) < 12 {
+					p.avoid[n] = true
+				}
+			}
+			return
+		}
+	}
+	if node := m.Get(comm.KeyAvoid); node != "" {
+		p.avoid[node] = true
+	}
+}
+
+func (p *Orchestrated) drive(env *sim.Env) {
+	if p.task == "" || len(p.legs) == 0 {
+		return
+	}
+	if p.enRoute {
+		if !p.c.Body().Arrived() {
+			return
+		}
+		p.enRoute = false
+		p.legs = p.legs[1:]
+		if len(p.legs) == 0 {
+			p.net.Send(comm.NewMessage(p.c.ID(), p.director, comm.TypeResponse, comm.TopicTaskDone,
+				map[string]string{comm.KeyTask: p.task}))
+			p.task = ""
+			return
+		}
+	}
+	path, err := agent.PlanLegPathWith(p.c, p.graph, p.legs[0],
+		world.Avoidance{Nodes: p.avoid, Edges: p.avoidEdges})
+	if err != nil {
+		return // wait for a reroute or recovery
+	}
+	if err := p.c.Dispatch(path, p.c.SpeedCap()); err != nil {
+		return
+	}
+	p.enRoute = true
+}
+
+func (p *Orchestrated) beaconIfDue(env *sim.Env) {
+	tick := env.Clock.Tick()
+	if p.beacon.sent && tick-p.beacon.lastTick < p.beacon.period {
+		return
+	}
+	p.beacon.sent = true
+	p.beacon.lastTick = tick
+	pos := p.c.Body().Position()
+	node := ""
+	if n, ok := p.graph.NearestNode(pos); ok {
+		node = n
+	}
+	p.net.Send(comm.NewMessage(p.c.ID(), comm.Broadcast, comm.TypeStatus, comm.TopicStatus,
+		map[string]string{
+			comm.KeyX:    strconv.FormatFloat(pos.X, 'f', 2, 64),
+			comm.KeyY:    strconv.FormatFloat(pos.Y, 'f', 2, 64),
+			comm.KeyMode: p.c.Mode().String(),
+			comm.KeyNode: node,
+		}))
+}

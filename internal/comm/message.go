@@ -1,0 +1,84 @@
+// Package comm simulates the V2X communication substrate: typed
+// messages exchanged between constituents (and a TMS) over a network
+// with configurable latency, jitter, loss, node outages and link
+// partitions. Delivery is deterministic for a given seed and happens
+// at tick boundaries, before entities step.
+//
+// The cooperative/collaborative classes of the paper are
+// distinguished by the *content and direction* of the messages they
+// exchange (SAE J3216): status-sharing uses Status only, intent-
+// sharing adds Intent, agreement-seeking adds Request/Response, and
+// prescriptive/orchestrated add Command.
+package comm
+
+import (
+	"fmt"
+	"time"
+)
+
+// Type classifies a message by its role in the J3216-style taxonomy.
+type Type int
+
+// Message types.
+const (
+	TypeStatus Type = iota + 1
+	TypeIntent
+	TypeRequest
+	TypeResponse
+	TypeCommand
+	TypeHeartbeat
+	TypeTask
+)
+
+var typeNames = map[Type]string{
+	TypeStatus:    "status",
+	TypeIntent:    "intent",
+	TypeRequest:   "request",
+	TypeResponse:  "response",
+	TypeCommand:   "command",
+	TypeHeartbeat: "heartbeat",
+	TypeTask:      "task",
+}
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("type(%d)", int(t))
+}
+
+// Broadcast is the destination for messages addressed to everyone.
+const Broadcast = "*"
+
+// Message is one V2X datagram. Payload is a flat string map so logs
+// and traces remain deterministic and serialisable.
+type Message struct {
+	Seq     int64             `json:"seq"`
+	From    string            `json:"from"`
+	To      string            `json:"to"` // Broadcast for all
+	Type    Type              `json:"type"`
+	Topic   string            `json:"topic"`
+	Payload map[string]string `json:"payload,omitempty"`
+	SentAt  time.Duration     `json:"sentAt"`
+}
+
+// Get returns the payload value for key, or "".
+func (m Message) Get(key string) string { return m.Payload[key] }
+
+// WithPayload returns a copy of m with key set to value.
+func (m Message) WithPayload(key, value string) Message {
+	p := make(map[string]string, len(m.Payload)+1)
+	for k, v := range m.Payload {
+		p[k] = v
+	}
+	p[key] = value
+	m.Payload = p
+	return m
+}
+
+// NewMessage builds a message; the network assigns Seq and SentAt on
+// send.
+func NewMessage(from, to string, typ Type, topic string, payload map[string]string) Message {
+	return Message{From: from, To: to, Type: typ, Topic: topic, Payload: payload}
+}

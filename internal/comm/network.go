@@ -1,0 +1,199 @@
+package comm
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"coopmrm/internal/sim"
+)
+
+// NetConfig configures the simulated radio network.
+type NetConfig struct {
+	// Latency is the base one-way delivery delay.
+	Latency time.Duration
+	// Jitter is the maximum extra random delay added per message.
+	Jitter time.Duration
+	// LossProb is the probability a message is silently dropped.
+	LossProb float64
+}
+
+// Network is the shared medium. Endpoints register by constituent ID;
+// Deliver moves due messages into inboxes each tick.
+type Network struct {
+	cfg       NetConfig
+	rng       *sim.RNG
+	seq       int64
+	now       time.Duration
+	inTransit []envelope
+	inbox     map[string][]Message
+	order     []string
+	downNode  map[string]bool
+	downLink  map[[2]string]bool
+
+	sent    int64
+	dropped int64
+}
+
+type envelope struct {
+	msg       Message
+	to        string
+	deliverAt time.Duration
+}
+
+// NewNetwork returns a network using the given RNG for jitter/loss.
+func NewNetwork(cfg NetConfig, rng *sim.RNG) *Network {
+	return &Network{
+		cfg:      cfg,
+		rng:      rng,
+		inbox:    make(map[string][]Message),
+		downNode: make(map[string]bool),
+		downLink: make(map[[2]string]bool),
+	}
+}
+
+// Register creates an inbox for the given ID. Duplicate registration
+// is an error.
+func (n *Network) Register(id string) error {
+	if id == "" || id == Broadcast {
+		return fmt.Errorf("comm: invalid endpoint ID %q", id)
+	}
+	if _, dup := n.inbox[id]; dup {
+		return fmt.Errorf("comm: duplicate endpoint %q", id)
+	}
+	n.inbox[id] = nil
+	n.order = append(n.order, id)
+	return nil
+}
+
+// MustRegister is Register that panics on error.
+func (n *Network) MustRegister(id string) {
+	if err := n.Register(id); err != nil {
+		panic(err)
+	}
+}
+
+// Endpoints returns registered IDs in registration order.
+func (n *Network) Endpoints() []string {
+	out := make([]string, len(n.order))
+	copy(out, n.order)
+	return out
+}
+
+// SetNodeDown takes a node's radio offline (both directions).
+func (n *Network) SetNodeDown(id string, down bool) {
+	if down {
+		n.downNode[id] = true
+	} else {
+		delete(n.downNode, id)
+	}
+}
+
+// NodeDown reports whether a node's radio is offline.
+func (n *Network) NodeDown(id string) bool { return n.downNode[id] }
+
+// SetLinkDown partitions the pair (both directions).
+func (n *Network) SetLinkDown(a, b string, down bool) {
+	if down {
+		n.downLink[[2]string{a, b}] = true
+		n.downLink[[2]string{b, a}] = true
+	} else {
+		delete(n.downLink, [2]string{a, b})
+		delete(n.downLink, [2]string{b, a})
+	}
+}
+
+// Send queues a message for delivery. Broadcast fans out to every
+// registered endpoint except the sender. Returns the assigned Seq.
+// Sending from an unregistered or downed node silently drops (the
+// radio is dead; the sender cannot know).
+func (n *Network) Send(m Message) int64 {
+	n.seq++
+	m.Seq = n.seq
+	m.SentAt = n.now
+	n.sent++
+	if n.downNode[m.From] {
+		n.dropped++
+		return m.Seq
+	}
+	recipients := n.recipients(m)
+	for _, to := range recipients {
+		if n.downNode[to] || n.downLink[[2]string{m.From, to}] {
+			n.dropped++
+			continue
+		}
+		if n.cfg.LossProb > 0 && n.rng.Bool(n.cfg.LossProb) {
+			n.dropped++
+			continue
+		}
+		delay := n.cfg.Latency
+		if n.cfg.Jitter > 0 {
+			delay += time.Duration(n.rng.Range(0, float64(n.cfg.Jitter)))
+		}
+		n.inTransit = append(n.inTransit, envelope{msg: m, to: to, deliverAt: n.now + delay})
+	}
+	return m.Seq
+}
+
+func (n *Network) recipients(m Message) []string {
+	if m.To != Broadcast {
+		if _, ok := n.inbox[m.To]; !ok {
+			return nil
+		}
+		return []string{m.To}
+	}
+	out := make([]string, 0, len(n.order)-1)
+	for _, id := range n.order {
+		if id != m.From {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Deliver advances the network clock to now and moves due messages to
+// inboxes in deterministic order (deliverAt, then Seq, then
+// recipient).
+func (n *Network) Deliver(now time.Duration) {
+	n.now = now
+	var due, later []envelope
+	for _, e := range n.inTransit {
+		if e.deliverAt <= now {
+			due = append(due, e)
+		} else {
+			later = append(later, e)
+		}
+	}
+	n.inTransit = later
+	sort.Slice(due, func(i, j int) bool {
+		if due[i].deliverAt != due[j].deliverAt {
+			return due[i].deliverAt < due[j].deliverAt
+		}
+		if due[i].msg.Seq != due[j].msg.Seq {
+			return due[i].msg.Seq < due[j].msg.Seq
+		}
+		return due[i].to < due[j].to
+	})
+	for _, e := range due {
+		n.inbox[e.to] = append(n.inbox[e.to], e.msg)
+	}
+}
+
+// Receive drains and returns the inbox of id, in delivery order.
+func (n *Network) Receive(id string) []Message {
+	msgs := n.inbox[id]
+	n.inbox[id] = nil
+	return msgs
+}
+
+// Pending returns the number of messages in transit.
+func (n *Network) Pending() int { return len(n.inTransit) }
+
+// Stats returns the number of messages sent and dropped so far.
+func (n *Network) Stats() (sent, dropped int64) { return n.sent, n.dropped }
+
+// Hook returns a sim pre-step hook that delivers due messages each
+// tick.
+func (n *Network) Hook() sim.Hook {
+	return func(env *sim.Env) { n.Deliver(env.Clock.Now()) }
+}

@@ -1,0 +1,27 @@
+package comm
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"coopmrm/internal/sim"
+)
+
+func BenchmarkBroadcastDeliver(b *testing.B) {
+	n := NewNetwork(NetConfig{Latency: 50 * time.Millisecond}, sim.NewRNG(1))
+	for i := 0; i < 20; i++ {
+		n.MustRegister(fmt.Sprintf("v%d", i))
+	}
+	msg := NewMessage("v0", Broadcast, TypeStatus, TopicStatus,
+		map[string]string{KeyMode: "nominal", KeyX: "1.0", KeyY: "2.0"})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Send(msg)
+		n.Deliver(time.Duration(i+1) * 100 * time.Millisecond)
+		for j := 0; j < 20; j++ {
+			n.Receive(fmt.Sprintf("v%d", j))
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package coop
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"coopmrm/internal/comm"
+	"coopmrm/internal/core"
+	"coopmrm/internal/sim"
+)
+
+// AgreementSeeking is the J3216 class C policy: a failing vehicle
+// requests help (a gap) and waits for consent before enacting the
+// MRM; consenting neighbours slow down, making the MRM concerted
+// (Definition 3). Without full consent by the deadline, the vehicle
+// falls back to a conservative immediate MRC — the paper's
+// "alternative plans must be considered".
+//
+// Global MRCs are possible through negotiated evacuations (the
+// paper's mine-fire example): vehicles agree on an order and reach
+// their safe positions one after another.
+type AgreementSeeking struct {
+	base *Base
+	// Peers are the cooperating vehicles' IDs (excluding self).
+	Peers []string
+	// AckTimeout bounds the wait for gap responses.
+	AckTimeout time.Duration
+	// HelpSpeed is the bound a consenting helper adopts.
+	HelpSpeed float64
+	// HelpFor bounds how long a helper assists without seeing the
+	// requester reach MRC.
+	HelpFor time.Duration
+	// FallbackMRC is the conservative MRC used without agreement.
+	FallbackMRC string
+	// EvacMRC is the hierarchy entry used for negotiated evacuations.
+	EvacMRC string
+
+	// initiator state
+	pendingReason string
+	requested     bool
+	deadline      time.Duration
+	acks          map[string]bool
+	granted       bool
+
+	// helper state
+	helpingFor string
+	helpUntil  time.Duration
+
+	// evacuation state
+	evacuating bool
+	evacOrder  []string
+	peerInMRC  map[string]bool
+}
+
+var _ sim.Entity = (*AgreementSeeking)(nil)
+
+// NewAgreementSeeking wires the policy, installing the MRM gate that
+// defers internally assessed MRMs until agreement (or timeout).
+func NewAgreementSeeking(base *Base, peers []string) *AgreementSeeking {
+	s := &AgreementSeeking{
+		base:        base,
+		Peers:       append([]string(nil), peers...),
+		AckTimeout:  3 * time.Second,
+		HelpSpeed:   2,
+		HelpFor:     90 * time.Second,
+		FallbackMRC: "in_place",
+		EvacMRC:     "parking",
+		acks:        make(map[string]bool),
+		peerInMRC:   make(map[string]bool),
+	}
+	base.C().MRMGate = func(c *core.Constituent, reason string) bool {
+		if s.granted {
+			return true
+		}
+		if s.pendingReason == "" {
+			s.pendingReason = reason
+		}
+		return false
+	}
+	return s
+}
+
+// ID implements sim.Entity.
+func (s *AgreementSeeking) ID() string { return s.base.C().ID() + ":agreement" }
+
+// Base exposes the shared plumbing.
+func (s *AgreementSeeking) Base() *Base { return s.base }
+
+// Helping reports whether this vehicle is currently assisting a
+// requester.
+func (s *AgreementSeeking) Helping() bool { return s.helpingFor != "" }
+
+// Evacuating reports whether a negotiated evacuation is under way.
+func (s *AgreementSeeking) Evacuating() bool { return s.evacuating }
+
+// EvacOrder returns the agreed evacuation order (empty before one is
+// negotiated).
+func (s *AgreementSeeking) EvacOrder() []string {
+	out := make([]string, len(s.evacOrder))
+	copy(out, s.evacOrder)
+	return out
+}
+
+// DeclareEvacuation starts a negotiated global MRC (e.g. mine fire):
+// the declaring vehicle broadcasts the evacuation; every participant
+// independently derives the same deterministic order (sorted IDs) and
+// proceeds when its predecessors have reached MRC.
+func (s *AgreementSeeking) DeclareEvacuation(env *sim.Env) {
+	if s.evacuating {
+		return
+	}
+	s.startEvacuation(env)
+	c := s.base.C()
+	s.base.Net.Send(comm.NewMessage(c.ID(), comm.Broadcast, comm.TypeRequest,
+		comm.TopicEvacuate, map[string]string{
+			comm.KeyOrder: strings.Join(s.evacOrder, ","),
+		}))
+	env.Emit(sim.EventInfo, c.ID(), "declared evacuation; order "+strings.Join(s.evacOrder, ","))
+}
+
+func (s *AgreementSeeking) startEvacuation(env *sim.Env) {
+	s.evacuating = true
+	all := append([]string{s.base.C().ID()}, s.Peers...)
+	sort.Strings(all)
+	s.evacOrder = all
+}
+
+// Step implements sim.Entity.
+func (s *AgreementSeeking) Step(env *sim.Env) {
+	c := s.base.C()
+	for _, m := range s.base.Net.Receive(c.ID()) {
+		switch m.Topic {
+		case comm.TopicStatus:
+			s.base.HandleStatus(m)
+			s.peerInMRC[m.From] = m.Get(comm.KeyMode) == "mrc"
+			if s.helpingFor == m.From && s.peerInMRC[m.From] {
+				s.stopHelping()
+			}
+		case comm.TopicGapRequest:
+			s.handleGapRequest(env, m)
+		case comm.TopicGapResponse:
+			s.acks[m.From] = m.Get(comm.KeyAck) == "true"
+		case comm.TopicEvacuate:
+			if !s.evacuating {
+				s.startEvacuation(env)
+				env.Emit(sim.EventInfo, c.ID(), "joined evacuation")
+			}
+		}
+	}
+	if s.helpingFor != "" && env.Clock.Now() >= s.helpUntil {
+		s.stopHelping()
+	}
+	s.stepInitiator(env)
+	s.stepEvacuation(env)
+	s.base.BeaconIfDue(env)
+}
+
+func (s *AgreementSeeking) handleGapRequest(env *sim.Env, m comm.Message) {
+	c := s.base.C()
+	ack := "false"
+	if c.Operational() {
+		ack = "true"
+		s.helpingFor = m.From
+		s.helpUntil = env.Clock.Now() + s.HelpFor
+		c.AssistSlowdown(s.HelpSpeed)
+		env.Emit(sim.EventInfo, c.ID(), "consented to gap for "+m.From)
+	}
+	s.base.Net.Send(comm.NewMessage(c.ID(), m.From, comm.TypeResponse,
+		comm.TopicGapResponse, map[string]string{comm.KeyAck: ack}))
+}
+
+func (s *AgreementSeeking) stopHelping() {
+	s.base.C().ReleaseAssist()
+	s.helpingFor = ""
+}
+
+func (s *AgreementSeeking) stepInitiator(env *sim.Env) {
+	c := s.base.C()
+	if s.pendingReason == "" || s.granted {
+		return
+	}
+	now := env.Clock.Now()
+	if !s.requested {
+		s.requested = true
+		s.deadline = now + s.AckTimeout
+		s.base.Net.Send(comm.NewMessage(c.ID(), comm.Broadcast, comm.TypeRequest,
+			comm.TopicGapRequest, map[string]string{comm.KeyReason: s.pendingReason}))
+		env.Emit(sim.EventInfo, c.ID(), "requested gap: "+s.pendingReason)
+		return
+	}
+	allAcked := len(s.Peers) > 0
+	for _, p := range s.Peers {
+		if !s.acks[p] {
+			allAcked = false
+			break
+		}
+	}
+	switch {
+	case allAcked:
+		s.granted = true
+		env.EmitFields(sim.EventMRMConcerted, c.ID(), "gap granted by all peers",
+			map[string]string{"helpers": strings.Join(s.Peers, ",")})
+		c.TriggerMRM(env, s.pendingReason+" (agreed)")
+	case now >= s.deadline:
+		s.granted = true
+		c.TriggerMRMTo(env, s.FallbackMRC, s.pendingReason+" (no agreement)")
+	}
+}
+
+func (s *AgreementSeeking) stepEvacuation(env *sim.Env) {
+	c := s.base.C()
+	if !s.evacuating || !c.Operational() {
+		return
+	}
+	// Proceed when all predecessors in the agreed order are in MRC.
+	for _, id := range s.evacOrder {
+		if id == c.ID() {
+			c.TriggerMRMTo(env, s.EvacMRC, "negotiated evacuation")
+			return
+		}
+		if !s.peerInMRC[id] {
+			return // a predecessor has not reached MRC yet
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package coop implements the four cooperative interaction classes of
+// the paper's Table I (after SAE J3216): status-sharing,
+// intent-sharing, agreement-seeking, and prescriptive. Each class is
+// a per-vehicle policy entity that exchanges V2X messages and adapts
+// the vehicle's task execution; the classes differ exactly in the
+// information content and direction of those messages.
+//
+// MRM/MRC characteristics reproduced per class (Table I):
+//
+//   - status-sharing: an AV in MRC shares its stopped position (the
+//     "red warning triangle"); others adapt their own plans. Only
+//     individual MRCs.
+//   - intent-sharing: additionally shares the planned MRM (target
+//     stop) so others can adapt *before* the manoeuvre. Only
+//     individual MRCs.
+//   - agreement-seeking: a failing AV requests a gap and waits for
+//     consent before the (concerted) MRM; global MRCs become possible
+//     through negotiated evacuations.
+//   - prescriptive: a directing entity can order one, several, or all
+//     vehicles into MRC (local and global MRCs); vehicles that cannot
+//     comply go to their own MRC instead.
+package coop
+
+import (
+	"strconv"
+	"time"
+
+	"coopmrm/internal/geom"
+
+	"coopmrm/internal/agent"
+	"coopmrm/internal/comm"
+	"coopmrm/internal/core"
+	"coopmrm/internal/sim"
+	"coopmrm/internal/world"
+)
+
+// Base carries the plumbing every cooperative class shares: the haul
+// agent it steers, the network endpoint, periodic status beacons, and
+// the avoid-on-peer-MRC reaction.
+type Base struct {
+	Haul   *agent.HaulAgent
+	Net    *comm.Network
+	Graph  *world.RouteGraph
+	Period time.Duration
+	// World, when set, limits route avoidance to peers stopped inside
+	// tunnel zones: outside tunnels the operational pass-around layer
+	// handles stopped vehicles, and graph-level blocking would be too
+	// coarse. A nil World blocks unconditionally.
+	World *world.World
+
+	nextSend   time.Duration
+	avoidedFor map[string]blockRecord // peer -> avoided elements
+	peerMode   map[string]string
+}
+
+// blockRecord remembers what was avoided on behalf of one stopped
+// peer, so it can be undone on recovery.
+type blockRecord struct {
+	node    string
+	edge    [2]string
+	hasNode bool
+	hasEdge bool
+}
+
+// NewBase initialises the shared plumbing (default beacon period 1s).
+func NewBase(haul *agent.HaulAgent, net *comm.Network, graph *world.RouteGraph, period time.Duration) *Base {
+	if period <= 0 {
+		period = time.Second
+	}
+	return &Base{
+		Haul:       haul,
+		Net:        net,
+		Graph:      graph,
+		Period:     period,
+		avoidedFor: make(map[string]blockRecord),
+		peerMode:   make(map[string]string),
+	}
+}
+
+// C returns the steered constituent.
+func (b *Base) C() *core.Constituent { return b.Haul.Constituent() }
+
+// PeerMode returns the last known mode of a peer ("" if unknown).
+func (b *Base) PeerMode(id string) string { return b.peerMode[id] }
+
+// HandleStatus processes one status beacon: track the peer's mode,
+// and while the peer is stopped (MRM/MRC) avoid the graph elements it
+// physically blocks — the road segment (edge) it is on, plus the
+// junction (node) when it sits close to one. Everything is undone
+// when a later beacon shows the peer operational again.
+func (b *Base) HandleStatus(m comm.Message) {
+	if m.Topic != comm.TopicStatus {
+		return
+	}
+	mode := m.Get(comm.KeyMode)
+	b.peerMode[m.From] = mode
+	switch mode {
+	case "mrc", "mrm":
+		rec := blockRecord{}
+		if x, y, ok := parseXY(m); ok && b.Graph != nil {
+			pos := geom.V(x, y)
+			if b.World != nil && !inTunnel(b.World, pos) {
+				b.unblockFor(m.From)
+				return // passable: the operational layer handles it
+			}
+			if ea, eb, d, ok := b.Graph.NearestEdge(pos); ok && d < 8 {
+				rec.edge = [2]string{ea, eb}
+				rec.hasEdge = true
+			}
+			if n, ok := b.Graph.NearestNode(pos); ok {
+				if np, ok2 := b.Graph.NodePos(n); ok2 && np.Dist(pos) < 12 {
+					rec.node = n
+					rec.hasNode = true
+				}
+			}
+		} else if node := m.Get(comm.KeyNode); node != "" {
+			rec.node = node
+			rec.hasNode = true
+		}
+		// Unchanged blockage: nothing to do (avoids a replan storm
+		// when beacons repeat the same stopped position).
+		if b.avoidedFor[m.From] == rec {
+			return
+		}
+		b.unblockFor(m.From)
+		if rec.hasEdge {
+			b.Haul.AvoidEdge(rec.edge[0], rec.edge[1])
+		}
+		if rec.hasNode {
+			b.Haul.Avoid(rec.node)
+		}
+		if rec.hasNode || rec.hasEdge {
+			b.avoidedFor[m.From] = rec
+		}
+	default:
+		b.unblockFor(m.From)
+	}
+}
+
+func (b *Base) unblockFor(peer string) {
+	rec, ok := b.avoidedFor[peer]
+	if !ok {
+		return
+	}
+	if rec.hasNode {
+		b.Haul.Unavoid(rec.node)
+	}
+	if rec.hasEdge {
+		b.Haul.UnavoidEdge(rec.edge[0], rec.edge[1])
+	}
+	delete(b.avoidedFor, peer)
+}
+
+// BeaconIfDue broadcasts the periodic status message.
+func (b *Base) BeaconIfDue(env *sim.Env) {
+	now := env.Clock.Now()
+	if now < b.nextSend {
+		return
+	}
+	b.nextSend = now + b.Period
+	c := b.C()
+	pos := c.Body().Position()
+	node := ""
+	if b.Graph != nil {
+		if n, ok := b.Graph.NearestNode(pos); ok {
+			node = n
+		}
+	}
+	b.Net.Send(comm.NewMessage(c.ID(), comm.Broadcast, comm.TypeStatus, comm.TopicStatus,
+		map[string]string{
+			comm.KeyX:    strconv.FormatFloat(pos.X, 'f', 2, 64),
+			comm.KeyY:    strconv.FormatFloat(pos.Y, 'f', 2, 64),
+			comm.KeyMode: c.Mode().String(),
+			comm.KeyNode: node,
+		}))
+}
+
+// inTunnel reports whether the position lies in a tunnel zone.
+func inTunnel(w *world.World, pos geom.Vec2) bool {
+	for _, z := range w.ZoneAt(pos) {
+		if z.Kind == world.ZoneTunnel {
+			return true
+		}
+	}
+	return false
+}
+
+// parseXY extracts a position payload; ok is false when absent.
+func parseXY(m comm.Message) (x, y float64, ok bool) {
+	var err1, err2 error
+	x, err1 = strconv.ParseFloat(m.Get(comm.KeyX), 64)
+	y, err2 = strconv.ParseFloat(m.Get(comm.KeyY), 64)
+	return x, y, err1 == nil && err2 == nil
+}

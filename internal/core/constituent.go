@@ -1,0 +1,770 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"coopmrm/internal/comm"
+	"coopmrm/internal/fault"
+	"coopmrm/internal/geom"
+	"coopmrm/internal/odd"
+	"coopmrm/internal/sensor"
+	"coopmrm/internal/sim"
+	"coopmrm/internal/vehicle"
+	"coopmrm/internal/world"
+)
+
+// Mode is the top-level state of a constituent's ADS.
+type Mode int
+
+// ADS modes. Per Gyllenhammar et al. (adopted by the paper), an MRC
+// is a change of strategic goal; degraded operation is not an MRC.
+const (
+	// ModeNominal: pursuing the user-defined strategic goal at full
+	// capability.
+	ModeNominal Mode = iota + 1
+	// ModeDegraded: pursuing the strategic goal with tactically
+	// adapted (reduced) performance. Definition 4 when permanent.
+	ModeDegraded
+	// ModeMRM: executing a minimal risk manoeuvre; the strategic
+	// goal has been replaced by "reach MRC".
+	ModeMRM
+	// ModeMRC: stable stopped state reached; user intervention is
+	// required to recover.
+	ModeMRC
+)
+
+var modeNames = map[Mode]string{
+	ModeNominal:  "nominal",
+	ModeDegraded: "degraded",
+	ModeMRM:      "mrm",
+	ModeMRC:      "mrc",
+}
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if s, ok := modeNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// AutoRecoveryPolicy decides whether the ADS may leave an MRC without
+// user intervention. The paper's Definitions 1-2 require intervention
+// (AutoRecoveryOff); its future work asks "whether a recovery from
+// MRC can be safely handled without human intervention" —
+// AutoRecoveryTransient implements and evaluates that proposal
+// (experiment E15).
+type AutoRecoveryPolicy int
+
+// Auto-recovery policies.
+const (
+	// AutoRecoveryOff: recovery always needs user intervention (the
+	// paper's definitions; the default).
+	AutoRecoveryOff AutoRecoveryPolicy = iota
+	// AutoRecoveryTransient: the ADS resumes the user-defined
+	// strategic goal on its own when (a) no fault is active (the MRC
+	// cause was a self-clearing condition such as weather), (b) the
+	// current capabilities assess as operational, (c) the ODD is
+	// comfortably inside (no near-exit), and (d) the vehicle has
+	// dwelled in MRC for RecoveryDwell (hysteresis against flapping).
+	AutoRecoveryTransient
+)
+
+// Config assembles a constituent.
+type Config struct {
+	ID    string
+	Spec  vehicle.Spec
+	Start geom.Pose
+	// Suite defaults to a StandardSuite of the spec's sensor range.
+	Suite *sensor.Suite
+	// ODD defaults to the site spec.
+	ODD *odd.Spec
+	// Hierarchy defaults to the site hierarchy.
+	Hierarchy *Hierarchy
+	World     *world.World
+	// Net, when set, has the constituent's radio taken down by comm
+	// faults.
+	Net *comm.Network
+	// Goal is the initial user-defined strategic goal label.
+	Goal string
+}
+
+// Constituent is one automated vehicle or machine: body + perception
+// + ODD monitor + degradation manager + MRM executor. It implements
+// sim.Entity and fault.Handler.
+type Constituent struct {
+	id      string
+	body    *vehicle.Body
+	suite   *sensor.Suite
+	monitor *odd.Monitor
+	hier    *Hierarchy
+	world   *world.World
+	net     *comm.Network
+	dm      *DegradationManager
+
+	mode     Mode
+	goal     string
+	userGoal string
+
+	activeFaults map[string]fault.Fault
+	commUp       bool
+	toolUp       bool
+	locUp        bool
+
+	speedCap  float64 // tactical speed bound (m/s)
+	assistCap float64 // externally requested bound during concerted MRMs; <0 = none
+	cruise    float64 // dispatched cruise speed for the current task
+	holding   bool    // operational hold for an obstacle ahead
+	// follower marks the constituent as a platoon follower whose
+	// forward perception is extended by the leader: perception-based
+	// assessment then uses the nominal range (Sec. III-B case iv).
+	follower     bool
+	currentMRC   MRC
+	targetZone   world.Zone
+	mrmReason    string
+	mrmFeasible  bool // false when even the hierarchy had nothing feasible
+	occupiedZone string
+
+	interventions int
+	autoRecovered int
+
+	// AutoRecovery enables ADS-initiated recovery from transient
+	// MRCs (default off, per the paper's definitions).
+	AutoRecovery AutoRecoveryPolicy
+	// RecoveryDwell is the minimum stable time in MRC before an
+	// autonomous recovery may fire (default 10s when zero).
+	RecoveryDwell time.Duration
+	mrcSince      time.Duration
+	conditionsOK  time.Duration // since when recovery conditions held
+
+	// OnMRCReached, when set, is called once when the constituent
+	// reaches its MRC (used by policies to propagate local/global
+	// decisions).
+	OnMRCReached func(c *Constituent, m MRC)
+	// OnMRMStarted, when set, is called once per MRM trigger.
+	OnMRMStarted func(c *Constituent, m MRC, reason string)
+	// MRMGate, when set, is consulted before an internally assessed
+	// MRM triggers. Returning false defers the MRM (the constituent
+	// crawls while the policy coordinates, e.g. agreement-seeking
+	// classes requesting a gap first); the gate is re-consulted every
+	// tick until it allows or the policy triggers the MRM itself.
+	MRMGate func(c *Constituent, reason string) bool
+}
+
+var (
+	_ sim.Entity    = (*Constituent)(nil)
+	_ fault.Handler = (*Constituent)(nil)
+)
+
+// NewConstituent builds a constituent from cfg. A missing ID is an
+// error.
+func NewConstituent(cfg Config) (*Constituent, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("core: constituent with empty ID")
+	}
+	if cfg.Spec.Kind == 0 {
+		cfg.Spec = vehicle.DefaultSpec(vehicle.KindTruck)
+	}
+	if cfg.Suite == nil {
+		cfg.Suite = sensor.StandardSuite(cfg.Spec.SensorRange)
+	}
+	oddSpec := odd.DefaultSiteSpec()
+	if cfg.ODD != nil {
+		oddSpec = *cfg.ODD
+	}
+	if cfg.Hierarchy == nil {
+		cfg.Hierarchy = DefaultSiteHierarchy()
+	}
+	if cfg.Goal == "" {
+		cfg.Goal = "user_goal"
+	}
+	c := &Constituent{
+		id:           cfg.ID,
+		body:         vehicle.NewBody(cfg.Spec, cfg.Start),
+		suite:        cfg.Suite,
+		monitor:      odd.NewMonitor(oddSpec),
+		hier:         cfg.Hierarchy,
+		world:        cfg.World,
+		net:          cfg.Net,
+		dm:           NewDegradationManager(cfg.Spec),
+		mode:         ModeNominal,
+		goal:         cfg.Goal,
+		userGoal:     cfg.Goal,
+		activeFaults: make(map[string]fault.Fault),
+		commUp:       true,
+		toolUp:       cfg.Spec.HasTool,
+		locUp:        true,
+		speedCap:     cfg.Spec.MaxSpeed,
+		assistCap:    -1,
+	}
+	return c, nil
+}
+
+// MustConstituent is NewConstituent that panics on error.
+func MustConstituent(cfg Config) *Constituent {
+	c, err := NewConstituent(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// ID implements sim.Entity.
+func (c *Constituent) ID() string { return c.id }
+
+// Body returns the kinematic body.
+func (c *Constituent) Body() *vehicle.Body { return c.body }
+
+// Suite returns the sensor suite.
+func (c *Constituent) Suite() *sensor.Suite { return c.suite }
+
+// Mode returns the current ADS mode.
+func (c *Constituent) Mode() Mode { return c.mode }
+
+// Goal returns the current strategic goal label. During an MRM/MRC it
+// is "mrc:<id>", reflecting that an MRC is a change of strategic
+// goal.
+func (c *Constituent) Goal() string { return c.goal }
+
+// UserGoal returns the original user-defined strategic goal.
+func (c *Constituent) UserGoal() string { return c.userGoal }
+
+// SetUserGoal updates the user-defined strategic goal (e.g. when a
+// TMS re-tasks the constituent). Only honoured outside MRM/MRC.
+func (c *Constituent) SetUserGoal(goal string) {
+	c.userGoal = goal
+	if c.mode == ModeNominal || c.mode == ModeDegraded {
+		c.goal = goal
+	}
+}
+
+// InMRC reports whether the constituent has reached an MRC.
+func (c *Constituent) InMRC() bool { return c.mode == ModeMRC }
+
+// MRMActive reports whether an MRM is executing.
+func (c *Constituent) MRMActive() bool { return c.mode == ModeMRM }
+
+// Operational reports whether the constituent still pursues its
+// strategic goal (nominal or degraded).
+func (c *Constituent) Operational() bool {
+	return c.mode == ModeNominal || c.mode == ModeDegraded
+}
+
+// CurrentMRC returns the MRC being executed or reached (zero when
+// nominal).
+func (c *Constituent) CurrentMRC() MRC { return c.currentMRC }
+
+// TargetZone returns the zone targeted by the current MRM (zero Zone
+// for in-place stops or outside MRM/MRC).
+func (c *Constituent) TargetZone() world.Zone { return c.targetZone }
+
+// MRMReason returns the reason of the current/last MRM trigger.
+func (c *Constituent) MRMReason() string { return c.mrmReason }
+
+// SpeedCap returns the current tactical speed bound.
+func (c *Constituent) SpeedCap() float64 { return c.speedCap }
+
+// Interventions returns the number of user interventions (recoveries)
+// performed on this constituent.
+func (c *Constituent) Interventions() int { return c.interventions }
+
+// CommUp reports whether the V2X radio currently works.
+func (c *Constituent) CommUp() bool { return c.commUp }
+
+// ToolUp reports whether the work tool currently works.
+func (c *Constituent) ToolUp() bool { return c.toolUp }
+
+// Capabilities computes the current capability vector from the body,
+// suite and subsystem flags.
+func (c *Constituent) Capabilities() vehicle.Capabilities {
+	spec := c.body.Spec()
+	return vehicle.Capabilities{
+		PerceptionRange: c.suite.EffectiveRange(),
+		MaxSpeed:        spec.MaxSpeed,
+		ServiceBrake:    c.body.BrakeFactor() > 0.1,
+		EmergencyBrake:  c.body.BrakeFactor() > 0.1,
+		Steering:        c.body.SteeringOK(),
+		Propulsion:      c.body.PropulsionOK(),
+		Comm:            c.commUp,
+		Tool:            c.toolUp,
+		Localization:    c.locUp,
+	}
+}
+
+// HasPermanentFault reports whether any active fault is permanent.
+func (c *Constituent) HasPermanentFault() bool {
+	for _, f := range c.activeFaults {
+		if f.Permanent {
+			return true
+		}
+	}
+	return false
+}
+
+// ActiveFaults returns the active faults sorted by ID.
+func (c *Constituent) ActiveFaults() []fault.Fault {
+	out := make([]fault.Fault, 0, len(c.activeFaults))
+	for _, f := range c.activeFaults {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ApplyFault implements fault.Handler.
+func (c *Constituent) ApplyFault(f fault.Fault) {
+	c.activeFaults[f.ID] = f
+	c.recomputeEffects()
+}
+
+// ClearFault implements fault.Handler.
+func (c *Constituent) ClearFault(f fault.Fault) {
+	delete(c.activeFaults, f.ID)
+	c.recomputeEffects()
+}
+
+// recomputeEffects re-derives all physical effects from the active
+// fault set, so overlapping faults of the same kind compose and clear
+// correctly.
+func (c *Constituent) recomputeEffects() {
+	for _, n := range c.suite.Names() {
+		_ = c.suite.Restore(n)
+	}
+	c.body.DegradeBrakes(1)
+	c.body.UnlockSteering()
+	c.body.EnablePropulsion()
+	c.commUp = true
+	c.toolUp = c.body.Spec().HasTool
+	c.locUp = true
+
+	ids := make([]string, 0, len(c.activeFaults))
+	for id := range c.activeFaults {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	brake := 1.0
+	for _, id := range ids {
+		f := c.activeFaults[id]
+		switch f.Kind {
+		case fault.KindSensor:
+			if f.Detail != "" {
+				_ = c.suite.Degrade(f.Detail, 1-f.Severity)
+			} else {
+				for _, n := range c.suite.Names() {
+					_ = c.suite.Degrade(n, 1-f.Severity)
+				}
+			}
+		case fault.KindBrake:
+			if v := 1 - f.Severity; v < brake {
+				brake = v
+			}
+		case fault.KindSteering:
+			c.body.LockSteering()
+		case fault.KindPropulsion:
+			c.body.DisablePropulsion()
+		case fault.KindComm:
+			c.commUp = false
+		case fault.KindTool:
+			c.toolUp = false
+		case fault.KindLocalization:
+			c.locUp = false
+		}
+	}
+	c.body.DegradeBrakes(brake)
+	if c.net != nil {
+		c.net.SetNodeDown(c.id, !c.commUp)
+	}
+}
+
+// Dispatch assigns a task path when operational. The effective speed
+// is bounded by the tactical speed cap.
+func (c *Constituent) Dispatch(p *geom.Path, speed float64) error {
+	if !c.Operational() {
+		return fmt.Errorf("core: %s not operational (mode %v)", c.id, c.mode)
+	}
+	c.cruise = geom.Clamp(speed, 0, c.body.Spec().MaxSpeed)
+	return c.body.SetPath(p, geom.Clamp(speed, 0, c.speedCap))
+}
+
+// SetCruiseSpeed adjusts the cruise speed of the current task without
+// replacing the path (platoon speed control uses this every tick).
+func (c *Constituent) SetCruiseSpeed(v float64) {
+	c.cruise = geom.Clamp(v, 0, c.body.Spec().MaxSpeed)
+}
+
+// SetPlatoonFollower marks (or unmarks) the constituent as a platoon
+// follower. A follower's perception-based assessment uses the nominal
+// sensor range — the leader's superior field of view covers it — so a
+// front-sensor fault no longer degrades or stops a follower
+// (Sec. III-B case iv). All other capability losses still apply.
+func (c *Constituent) SetPlatoonFollower(follower bool) { c.follower = follower }
+
+// PlatoonFollower reports whether follower mode is active.
+func (c *Constituent) PlatoonFollower() bool { return c.follower }
+
+// HoldForObstacle pauses (true) or resumes (false) motion for an
+// obstacle ahead — the operational-level collision avoidance agents
+// apply when another constituent blocks their corridor.
+func (c *Constituent) HoldForObstacle(hold bool) { c.holding = hold }
+
+// Holding reports whether an obstacle hold is active.
+func (c *Constituent) Holding() bool { return c.holding }
+
+// AssistSlowdown applies an external speed bound, used by concerted
+// MRMs where neighbours slow down to open a gap.
+func (c *Constituent) AssistSlowdown(speed float64) { c.assistCap = speed }
+
+// ReleaseAssist removes the external speed bound.
+func (c *Constituent) ReleaseAssist() { c.assistCap = -1 }
+
+// Assisting reports whether an external assist bound is active.
+func (c *Constituent) Assisting() bool { return c.assistCap >= 0 }
+
+// Step implements sim.Entity: perception update, ODD evaluation, the
+// ADS mode machine, then kinematics.
+func (c *Constituent) Step(env *sim.Env) {
+	if c.world != nil {
+		c.suite.SetWeatherFactor(c.world.Weather.PerceptionFactor())
+	}
+	caps := c.Capabilities()
+	assessCaps := caps
+	if c.follower {
+		// The leader's field of view extends the follower's.
+		assessCaps.PerceptionRange = c.body.Spec().SensorRange
+	}
+	var oddStatus odd.Status
+	if c.world != nil {
+		oddStatus = c.monitor.Evaluate(odd.Input{
+			Weather:  c.world.Weather,
+			Position: c.body.Position(),
+			Caps:     assessCaps,
+		})
+	} else {
+		oddStatus = odd.Status{Inside: true}
+	}
+
+	switch c.mode {
+	case ModeNominal, ModeDegraded:
+		c.stepOperational(env, assessCaps, oddStatus)
+	case ModeMRM:
+		c.stepMRM(env, caps)
+	case ModeMRC:
+		// Stable stopped state; by default nothing happens until user
+		// intervention. The future-work extension may recover from
+		// transient causes autonomously.
+		if c.AutoRecovery == AutoRecoveryTransient {
+			c.stepAutoRecovery(env, assessCaps, oddStatus)
+		}
+	}
+
+	// Enforce tactical and assist speed bounds. While operational the
+	// cruise speed re-applies each tick so released bounds restore the
+	// dispatched speed; during MRM the executor's own speed holds.
+	bound := c.speedCap
+	if c.assistCap >= 0 && c.assistCap < bound {
+		bound = c.assistCap
+	}
+	if c.holding && c.Operational() {
+		bound = 0
+	}
+	if c.Operational() && !c.body.Idle() && !c.body.Stopping() {
+		c.body.SetTargetSpeed(geom.Clamp(c.cruise, 0, bound))
+	} else if c.body.TargetSpeed() > bound {
+		c.body.SetTargetSpeed(bound)
+	}
+	c.body.Step(env.Clock.StepSeconds())
+}
+
+func (c *Constituent) stepOperational(env *sim.Env, caps vehicle.Capabilities, oddStatus odd.Status) {
+	assessment := c.dm.Assess(caps, oddStatus, c.HasPermanentFault())
+	switch assessment.Kind {
+	case AssessRequireMRM:
+		if c.MRMGate != nil && !c.MRMGate(c, assessment.Reason) {
+			// Deferred by the policy: crawl while it coordinates.
+			if c.speedCap > 2 {
+				c.speedCap = 2
+			}
+			return
+		}
+		c.TriggerMRM(env, assessment.Reason)
+	case AssessDegradedTemporary, AssessDegradedPermanent:
+		if c.mode != ModeDegraded {
+			c.mode = ModeDegraded
+			env.EmitFields(sim.EventDegraded, c.id, assessment.Reason,
+				map[string]string{"kind": assessment.Kind.String()})
+		}
+		c.speedCap = assessment.SpeedCap
+	case AssessNominal:
+		if c.mode == ModeDegraded {
+			c.mode = ModeNominal
+			env.Emit(sim.EventDegradCleared, c.id, "capabilities restored")
+		}
+		c.speedCap = c.body.Spec().MaxSpeed
+	}
+}
+
+func (c *Constituent) stepMRM(env *sim.Env, caps vehicle.Capabilities) {
+	// Mid-MRM feasibility check: a new failure may force a switch to
+	// an easier MRC (Fig. 1b).
+	if c.mrmFeasible {
+		if _, ok := c.currentMRC.Feasible(caps, c.body.Position(), c.world); !ok {
+			if next, zone, ok := c.hier.SelectBelow(c.currentMRC.ID, caps, c.body.Position(), c.world); ok {
+				env.EmitFields(sim.EventMRMSwitched, c.id,
+					fmt.Sprintf("MRM %s infeasible, switching to %s", c.currentMRC.ID, next.ID),
+					map[string]string{"from": c.currentMRC.ID, "to": next.ID})
+				c.currentMRC = next
+				c.targetZone = zone
+				c.executeMRM(next, zone)
+			} else {
+				env.Emit(sim.EventMRMSwitched, c.id, "no feasible MRC remains; hard stop")
+				c.mrmFeasible = false
+				c.body.EmergencyStop()
+			}
+		}
+	}
+	if c.mrcReached() {
+		c.mode = ModeMRC
+		c.mrcSince = env.Clock.Now()
+		c.conditionsOK = -1
+		if c.world != nil && c.targetZone.ID != "" {
+			c.world.RegisterStop(c.targetZone.ID)
+			c.occupiedZone = c.targetZone.ID
+		}
+		c.goal = "mrc:" + c.currentMRC.ID
+		env.EmitFields(sim.EventMRCReached, c.id, "reached MRC "+c.currentMRC.ID,
+			map[string]string{"mrc": c.currentMRC.ID, "reason": c.mrmReason,
+				"risk": fmt.Sprintf("%.2f", c.effectiveStopRisk())})
+		if c.OnMRCReached != nil {
+			c.OnMRCReached(c, c.currentMRC)
+		}
+	}
+}
+
+func (c *Constituent) mrcReached() bool {
+	if !c.body.Stopped() {
+		return false
+	}
+	if !c.mrmFeasible {
+		return true // helpless hard stop: wherever we ended is the MRC
+	}
+	switch c.currentMRC.Stop {
+	case StopEmergency, StopInPlace:
+		return true
+	default:
+		return c.targetZone.ID == "" || c.targetZone.Contains(c.body.Position()) || c.body.Arrived()
+	}
+}
+
+// effectiveStopRisk returns the world's residual risk at the stopped
+// position (falling back to the MRC's nominal risk without a world).
+func (c *Constituent) effectiveStopRisk() float64 {
+	if c.world == nil {
+		return c.currentMRC.Risk
+	}
+	return c.world.StopRiskAt(c.body.Position())
+}
+
+// TriggerMRM starts (or restarts) an MRM: it selects the best
+// feasible MRC from the hierarchy and begins executing the manoeuvre.
+// Triggering while already in MRM/MRC is a no-op.
+func (c *Constituent) TriggerMRM(env *sim.Env, reason string) {
+	if c.mode == ModeMRM || c.mode == ModeMRC {
+		return
+	}
+	caps := c.Capabilities()
+	m, zone, ok := c.hier.Select(caps, c.body.Position(), c.world)
+	c.mode = ModeMRM
+	c.mrmReason = reason
+	c.goal = "mrc:pending"
+	if !ok {
+		// Nothing feasible on our own (e.g. total brake loss): best
+		// effort hard stop; concerted or prescriptive help must cover
+		// the rest.
+		c.mrmFeasible = false
+		c.currentMRC = MRC{ID: "helpless", Stop: StopEmergency, Risk: 1}
+		c.body.EmergencyStop()
+		env.EmitFields(sim.EventMRMStarted, c.id, "no feasible MRC: best-effort stop ("+reason+")",
+			map[string]string{"mrc": "helpless", "reason": reason})
+		return
+	}
+	c.mrmFeasible = true
+	c.currentMRC = m
+	c.targetZone = zone
+	c.goal = "mrc:" + m.ID
+	env.EmitFields(sim.EventMRMStarted, c.id, "MRM to "+m.ID+" ("+reason+")",
+		map[string]string{"mrc": m.ID, "reason": reason})
+	c.executeMRM(m, zone)
+	if c.OnMRMStarted != nil {
+		// Fired after planning so listeners can read the MRM path
+		// (e.g. intent-sharing announces the planned stop point).
+		c.OnMRMStarted(c, m, reason)
+	}
+}
+
+// CommandMRM lets an external entity (directing vehicle, TMS, road
+// authority) force this constituent into an MRM. Prescriptive and
+// orchestrated classes use this.
+func (c *Constituent) CommandMRM(env *sim.Env, reason string) {
+	c.TriggerMRM(env, "commanded: "+reason)
+}
+
+// TriggerMRMTo starts an MRM into the specific MRC of the hierarchy
+// (e.g. a commanded pocket stop or a negotiated evacuation). When the
+// named MRC is unknown or infeasible the constituent falls back to
+// ordinary hierarchy selection — per Table I, a vehicle unable to
+// comply with an instruction goes to its own MRC instead.
+func (c *Constituent) TriggerMRMTo(env *sim.Env, mrcID, reason string) {
+	if c.mode == ModeMRM || c.mode == ModeMRC {
+		return
+	}
+	m, ok := c.hier.ByID(mrcID)
+	if !ok {
+		c.TriggerMRM(env, reason+" (unknown MRC "+mrcID+")")
+		return
+	}
+	caps := c.Capabilities()
+	zone, feasible := m.Feasible(caps, c.body.Position(), c.world)
+	if !feasible {
+		c.TriggerMRM(env, reason+" (cannot comply with "+mrcID+")")
+		return
+	}
+	c.mode = ModeMRM
+	c.mrmReason = reason
+	c.mrmFeasible = true
+	c.currentMRC = m
+	c.targetZone = zone
+	c.goal = "mrc:" + m.ID
+	env.EmitFields(sim.EventMRMStarted, c.id, "MRM to "+m.ID+" ("+reason+")",
+		map[string]string{"mrc": m.ID, "reason": reason})
+	c.executeMRM(m, zone)
+	if c.OnMRMStarted != nil {
+		c.OnMRMStarted(c, m, reason)
+	}
+}
+
+func (c *Constituent) executeMRM(m MRC, zone world.Zone) {
+	switch m.Stop {
+	case StopEmergency:
+		c.body.EmergencyStop()
+	case StopInPlace:
+		c.body.CommandStop()
+	default:
+		p := c.planRoute(c.body.Position(), zone)
+		speed := c.speedCap * 0.6
+		if speed < 1 {
+			speed = 1
+		}
+		if err := c.body.SetPath(p, speed); err != nil {
+			// Steering died between selection and execution.
+			c.body.CommandStop()
+			c.currentMRC = MRC{ID: "in_place_fallback", Stop: StopInPlace, Risk: 0.8}
+			c.targetZone = world.Zone{}
+		}
+	}
+}
+
+// mrmStopPoint picks the stopped position inside the target zone: a
+// point a comfortable manoeuvre distance ahead of the vehicle,
+// clamped into the zone. For elongated zones (a continuous shoulder)
+// this stops nearby rather than at the distant centroid; for compact
+// zones it degenerates to (near) the centre.
+func (c *Constituent) mrmStopPoint(zone world.Zone) geom.Vec2 {
+	lookahead := 2*c.body.StoppingDistance() + 60
+	ahead := c.body.Position().Add(c.body.Pose().Forward().Scale(lookahead))
+	const margin = 1.5
+	return geom.Vec2{
+		X: geom.Clamp(ahead.X, zone.Area.Min.X+margin, zone.Area.Max.X-margin),
+		Y: geom.Clamp(ahead.Y, zone.Area.Min.Y+margin, zone.Area.Max.Y-margin),
+	}
+}
+
+// planRoute builds the MRM path: via the world's route graph when one
+// exists (nearest node to nearest node), otherwise a straight line.
+func (c *Constituent) planRoute(from geom.Vec2, zone world.Zone) *geom.Path {
+	dest := c.mrmStopPoint(zone)
+	if c.world != nil {
+		g := c.world.Graph()
+		if start, ok := g.NearestNode(from); ok {
+			if end, ok2 := g.NearestNode(dest); ok2 && start != end {
+				if route, err := g.PathBetween(start, end); err == nil {
+					pts := append([]geom.Vec2{from}, route.Points()...)
+					pts = append(pts, dest)
+					if p, err := geom.NewPath(pts...); err == nil {
+						return p.SetName("mrm:" + zone.ID)
+					}
+				}
+			}
+		}
+	}
+	return geom.MustPath(from, dest).SetName("mrm:" + zone.ID)
+}
+
+// AutoRecovered returns how many autonomous (no-intervention)
+// recoveries this constituent performed.
+func (c *Constituent) AutoRecovered() int { return c.autoRecovered }
+
+// stepAutoRecovery checks the AutoRecoveryTransient conditions each
+// tick while in MRC and resumes the user-defined strategic goal once
+// they have held for RecoveryDwell.
+func (c *Constituent) stepAutoRecovery(env *sim.Env, caps vehicle.Capabilities, oddStatus odd.Status) {
+	dwell := c.RecoveryDwell
+	if dwell <= 0 {
+		dwell = 10 * time.Second
+	}
+	ok := len(c.activeFaults) == 0 &&
+		oddStatus.Inside && !oddStatus.NearExit &&
+		c.dm.Assess(caps, oddStatus, false).Kind != AssessRequireMRM
+	now := env.Clock.Now()
+	if !ok {
+		c.conditionsOK = -1
+		return
+	}
+	if c.conditionsOK < 0 {
+		c.conditionsOK = now
+	}
+	if now-c.conditionsOK < dwell || now-c.mrcSince < dwell {
+		return
+	}
+	c.autoRecovered++
+	c.releaseZone()
+	c.mode = ModeNominal
+	c.goal = c.userGoal
+	c.speedCap = c.body.Spec().MaxSpeed
+	c.assistCap = -1
+	c.mrmFeasible = false
+	c.currentMRC = MRC{}
+	c.targetZone = world.Zone{}
+	c.body.ClearPath()
+	env.Emit(sim.EventRecovered, c.id, "autonomous recovery: transient cause cleared (no intervention)")
+}
+
+// Recover models user intervention: active permanent faults are
+// repaired, the constituent returns to nominal mode and its original
+// strategic goal. Per Definitions 1 and 2 recovery from MRC always
+// needs intervention, so this also counts an intervention.
+// releaseZone frees the occupied refuge slot, if any.
+func (c *Constituent) releaseZone() {
+	if c.world != nil && c.occupiedZone != "" {
+		c.world.ReleaseStop(c.occupiedZone)
+	}
+	c.occupiedZone = ""
+}
+
+func (c *Constituent) Recover(env *sim.Env) {
+	c.interventions++
+	c.releaseZone()
+	c.activeFaults = make(map[string]fault.Fault)
+	c.recomputeEffects()
+	c.mode = ModeNominal
+	c.goal = c.userGoal
+	c.speedCap = c.body.Spec().MaxSpeed
+	c.assistCap = -1
+	c.mrmFeasible = false
+	c.currentMRC = MRC{}
+	c.targetZone = world.Zone{}
+	c.body.ClearPath()
+	env.Emit(sim.EventIntervention, c.id, "user recovery")
+	env.Emit(sim.EventRecovered, c.id, "recovered to nominal")
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"coopmrm/internal/odd"
+	"coopmrm/internal/vehicle"
+)
+
+func inside() odd.Status { return odd.Status{Inside: true} }
+
+func TestAssessmentKindString(t *testing.T) {
+	if AssessNominal.String() != "nominal" || AssessRequireMRM.String() != "require_mrm" {
+		t.Error("assessment names wrong")
+	}
+	if AssessmentKind(9).String() == "" {
+		t.Error("unknown should render")
+	}
+}
+
+func TestAssessNominal(t *testing.T) {
+	spec := vehicle.DefaultSpec(vehicle.KindTruck)
+	dm := NewDegradationManager(spec)
+	a := dm.Assess(vehicle.FullCapabilities(spec), inside(), false)
+	if a.Kind != AssessNominal {
+		t.Errorf("Assess = %v (%s)", a.Kind, a.Reason)
+	}
+	if a.SpeedCap <= 0 {
+		t.Errorf("SpeedCap = %v", a.SpeedCap)
+	}
+}
+
+// Case (i) of Sec. III-B: long-range radar fails permanently; truck
+// continues at lower speed => permanent performance degradation.
+func TestAssessPermanentDegradation(t *testing.T) {
+	spec := vehicle.DefaultSpec(vehicle.KindTruck)
+	dm := NewDegradationManager(spec)
+	caps := vehicle.FullCapabilities(spec)
+	caps.PerceptionRange = 40 // radar gone; short-range sensors remain
+	a := dm.Assess(caps, inside(), true)
+	if a.Kind != AssessDegradedPermanent {
+		t.Errorf("Assess = %v (%s), want degraded_permanent", a.Kind, a.Reason)
+	}
+	nominal := dm.SafeSpeed(vehicle.FullCapabilities(spec))
+	if a.SpeedCap >= nominal {
+		t.Errorf("degraded cap %v not below nominal %v", a.SpeedCap, nominal)
+	}
+}
+
+// Case (ii): rain reduces range temporarily => temporary degradation.
+func TestAssessTemporaryDegradation(t *testing.T) {
+	spec := vehicle.DefaultSpec(vehicle.KindTruck)
+	dm := NewDegradationManager(spec)
+	caps := vehicle.FullCapabilities(spec)
+	caps.PerceptionRange = 60
+	a := dm.Assess(caps, inside(), false)
+	if a.Kind != AssessDegradedTemporary {
+		t.Errorf("Assess = %v, want degraded_temporary", a.Kind)
+	}
+}
+
+func TestAssessRequireMRMOnCriticalLoss(t *testing.T) {
+	spec := vehicle.DefaultSpec(vehicle.KindTruck)
+	dm := NewDegradationManager(spec)
+	base := vehicle.FullCapabilities(spec)
+
+	cases := []struct {
+		name   string
+		mutate func(*vehicle.Capabilities)
+	}{
+		{"localization", func(c *vehicle.Capabilities) { c.Localization = false }},
+		{"service brake", func(c *vehicle.Capabilities) { c.ServiceBrake = false }},
+		{"steering", func(c *vehicle.Capabilities) { c.Steering = false }},
+		{"propulsion", func(c *vehicle.Capabilities) { c.Propulsion = false }},
+		{"blind", func(c *vehicle.Capabilities) { c.PerceptionRange = 0 }},
+	}
+	for _, tc := range cases {
+		caps := base
+		tc.mutate(&caps)
+		if a := dm.Assess(caps, inside(), false); a.Kind != AssessRequireMRM {
+			t.Errorf("%s loss: Assess = %v, want require_mrm", tc.name, a.Kind)
+		}
+	}
+}
+
+func TestAssessODDExitForcesMRM(t *testing.T) {
+	spec := vehicle.DefaultSpec(vehicle.KindTruck)
+	dm := NewDegradationManager(spec)
+	out := odd.Status{Inside: false, Violations: []string{"weather"}}
+	a := dm.Assess(vehicle.FullCapabilities(spec), out, false)
+	if a.Kind != AssessRequireMRM {
+		t.Errorf("outside ODD: Assess = %v", a.Kind)
+	}
+}
+
+func TestSafeSpeedFormula(t *testing.T) {
+	spec := vehicle.DefaultSpec(vehicle.KindTruck) // decel 2.0, max 25
+	dm := NewDegradationManager(spec)
+	caps := vehicle.FullCapabilities(spec)
+	caps.PerceptionRange = 25
+	// v = sqrt(2*2*25/2) = sqrt(50) ~ 7.07
+	if v := dm.SafeSpeed(caps); math.Abs(v-math.Sqrt(50)) > 1e-9 {
+		t.Errorf("SafeSpeed = %v", v)
+	}
+	// Large range clamps to max speed.
+	caps.PerceptionRange = 100000
+	if v := dm.SafeSpeed(caps); v != spec.MaxSpeed {
+		t.Errorf("clamped SafeSpeed = %v", v)
+	}
+	caps.ServiceBrake = false
+	if v := dm.SafeSpeed(caps); v != 0 {
+		t.Errorf("brakeless SafeSpeed = %v", v)
+	}
+}
+
+func TestAssessMonotoneInPerception(t *testing.T) {
+	spec := vehicle.DefaultSpec(vehicle.KindCar)
+	dm := NewDegradationManager(spec)
+	prev := -1.0
+	for r := 1.0; r <= spec.SensorRange; r += 5 {
+		caps := vehicle.FullCapabilities(spec)
+		caps.PerceptionRange = r
+		a := dm.Assess(caps, inside(), false)
+		if a.Kind == AssessRequireMRM {
+			prev = 0
+			continue
+		}
+		if a.SpeedCap < prev {
+			t.Fatalf("speed cap not monotone at range %v", r)
+		}
+		prev = a.SpeedCap
+	}
+}
+
+// The paper extends "manoeuvre" to tool actuation: a tooled machine
+// losing its tool cannot fulfil its strategic goal and must go to MRC;
+// an untooled vehicle is unaffected by the Tool flag.
+func TestAssessToolLoss(t *testing.T) {
+	digger := vehicle.DefaultSpec(vehicle.KindDigger)
+	dm := NewDegradationManager(digger)
+	caps := vehicle.FullCapabilities(digger)
+	caps.Tool = false
+	if a := dm.Assess(caps, inside(), true); a.Kind != AssessRequireMRM {
+		t.Errorf("tool loss on a digger: Assess = %v, want require_mrm", a.Kind)
+	}
+
+	truck := vehicle.DefaultSpec(vehicle.KindTruck)
+	dmT := NewDegradationManager(truck)
+	capsT := vehicle.FullCapabilities(truck)
+	capsT.Tool = false
+	if a := dmT.Assess(capsT, inside(), true); a.Kind == AssessRequireMRM {
+		t.Errorf("tool flag must not affect untooled vehicles: %v", a.Kind)
+	}
+}

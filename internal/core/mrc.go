@@ -1,0 +1,243 @@
+// Package core implements the paper's primary contribution: minimal
+// risk manoeuvres (MRMs) and minimal risk conditions (MRCs) for
+// cooperative and collaborative automated vehicles.
+//
+// It provides:
+//
+//   - MRC descriptors and risk-ordered MRC hierarchies with
+//     capability-gated selection and mid-MRM fallback switching
+//     (Fig. 1b of the paper);
+//   - a per-constituent ADS layer (Constituent) combining a kinematic
+//     body, a sensor suite, an ODD monitor, fault handling, and the
+//     MRM executor state machine;
+//   - the degradation manager distinguishing permanent/temporary
+//     performance degradation from MRC (Definition 4, Sec. III-B);
+//   - system-level scope resolution deciding between local and global
+//     MRCs over a dependency model (Definitions 1 and 2, Sec. III-A);
+//   - concerted MRM episodes jointly performed by several
+//     constituents (Definition 3).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"coopmrm/internal/geom"
+	"coopmrm/internal/vehicle"
+	"coopmrm/internal/world"
+)
+
+// StopKind classifies how an MRC's stopped state is reached.
+type StopKind int
+
+// Stop kinds, roughly from most to least demanding of remaining
+// capability.
+const (
+	// StopContinueToSafe drives on to a remote low-risk location
+	// (rest stop, designated parking) before stopping.
+	StopContinueToSafe StopKind = iota + 1
+	// StopAdjacent leaves the active lane/area for an adjacent
+	// refuge (shoulder, pocket) and stops there.
+	StopAdjacent
+	// StopInPlace stops in the current lane/spot with a controlled
+	// (service-brake) deceleration.
+	StopInPlace
+	// StopEmergency stops as fast as possible with hard braking.
+	StopEmergency
+)
+
+var stopKindNames = map[StopKind]string{
+	StopContinueToSafe: "continue_to_safe",
+	StopAdjacent:       "adjacent_refuge",
+	StopInPlace:        "in_place",
+	StopEmergency:      "emergency",
+}
+
+// String implements fmt.Stringer.
+func (k StopKind) String() string {
+	if s, ok := stopKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("stop_kind(%d)", int(k))
+}
+
+// MRC describes one minimal risk condition: the target stopped state,
+// its residual risk, and what capabilities the MRM into it requires.
+type MRC struct {
+	ID   string
+	Stop StopKind
+	// TargetZone is the zone kind the vehicle must reach for
+	// positional MRCs (zero for in-place/emergency stops).
+	TargetZone world.ZoneKind
+	// Risk is the residual risk of the achieved condition in [0, 1];
+	// lower is better. Hierarchies select the lowest-risk feasible
+	// MRC.
+	Risk float64
+	// MaxDistance bounds how far away the target zone may be for the
+	// MRM to remain feasible (0 = unbounded).
+	MaxDistance float64
+	// NeedsSteering, NeedsPropulsion and MinPerception gate
+	// feasibility on the remaining capability vector.
+	NeedsSteering   bool
+	NeedsPropulsion bool
+	MinPerception   float64
+}
+
+// Feasible reports whether the MRM into this MRC can be executed with
+// the given capabilities from the given position in the given world.
+// It returns the target zone chosen (zero Zone for in-place stops).
+func (m MRC) Feasible(caps vehicle.Capabilities, pos geom.Vec2, w *world.World) (world.Zone, bool) {
+	if m.NeedsSteering && !caps.Steering {
+		return world.Zone{}, false
+	}
+	if m.NeedsPropulsion && !caps.Propulsion {
+		return world.Zone{}, false
+	}
+	if caps.PerceptionRange < m.MinPerception {
+		return world.Zone{}, false
+	}
+	if !caps.EmergencyBrake && !caps.ServiceBrake {
+		// A vehicle that cannot brake at all cannot reach any
+		// stopped condition on its own.
+		return world.Zone{}, false
+	}
+	if m.TargetZone == 0 {
+		return world.Zone{}, true
+	}
+	if w == nil {
+		return world.Zone{}, false
+	}
+	// Capacity-aware: a full refuge (e.g. a packed rest stop) cannot
+	// be the target of another MRM.
+	z, ok := w.NearestAvailableZoneOfKind(pos, m.TargetZone)
+	if !ok {
+		return world.Zone{}, false
+	}
+	if m.MaxDistance > 0 && z.Area.Dist(pos) > m.MaxDistance {
+		return world.Zone{}, false
+	}
+	return z, true
+}
+
+// Hierarchy is a set of MRCs ordered by preference (ascending risk).
+// Per the paper (and Gyllenhammar et al.), which MRC is appropriate
+// depends on the remaining capabilities when the decision is taken,
+// and a new failure mid-MRM may force a switch to an easier MRC.
+type Hierarchy struct {
+	mrcs []MRC
+}
+
+// NewHierarchy builds a hierarchy from the given MRCs, sorted by
+// ascending risk (ties by ID). An empty hierarchy is an error.
+func NewHierarchy(mrcs ...MRC) (*Hierarchy, error) {
+	if len(mrcs) == 0 {
+		return nil, fmt.Errorf("core: empty MRC hierarchy")
+	}
+	ids := make(map[string]bool, len(mrcs))
+	for _, m := range mrcs {
+		if m.ID == "" {
+			return nil, fmt.Errorf("core: MRC with empty ID")
+		}
+		if ids[m.ID] {
+			return nil, fmt.Errorf("core: duplicate MRC ID %q", m.ID)
+		}
+		ids[m.ID] = true
+	}
+	h := &Hierarchy{mrcs: make([]MRC, len(mrcs))}
+	copy(h.mrcs, mrcs)
+	sort.SliceStable(h.mrcs, func(i, j int) bool {
+		if h.mrcs[i].Risk != h.mrcs[j].Risk {
+			return h.mrcs[i].Risk < h.mrcs[j].Risk
+		}
+		return h.mrcs[i].ID < h.mrcs[j].ID
+	})
+	return h, nil
+}
+
+// MustHierarchy is NewHierarchy that panics on error.
+func MustHierarchy(mrcs ...MRC) *Hierarchy {
+	h, err := NewHierarchy(mrcs...)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// MRCs returns the MRCs in preference order.
+func (h *Hierarchy) MRCs() []MRC {
+	out := make([]MRC, len(h.mrcs))
+	copy(out, h.mrcs)
+	return out
+}
+
+// ByID returns the MRC with the given ID.
+func (h *Hierarchy) ByID(id string) (MRC, bool) {
+	for _, m := range h.mrcs {
+		if m.ID == id {
+			return m, true
+		}
+	}
+	return MRC{}, false
+}
+
+// Select returns the lowest-risk feasible MRC for the given state,
+// together with its target zone. The boolean is false when nothing is
+// feasible (e.g. total brake loss), in which case the caller must
+// fall back to external (concerted or prescriptive) means.
+func (h *Hierarchy) Select(caps vehicle.Capabilities, pos geom.Vec2, w *world.World) (MRC, world.Zone, bool) {
+	for _, m := range h.mrcs {
+		if z, ok := m.Feasible(caps, pos, w); ok {
+			return m, z, true
+		}
+	}
+	return MRC{}, world.Zone{}, false
+}
+
+// SelectBelow behaves like Select but only considers MRCs strictly
+// riskier than the one with the given ID — used when the current MRM
+// becomes infeasible mid-execution and the executor must fall back
+// (Fig. 1b).
+func (h *Hierarchy) SelectBelow(currentID string, caps vehicle.Capabilities, pos geom.Vec2, w *world.World) (MRC, world.Zone, bool) {
+	past := false
+	for _, m := range h.mrcs {
+		if m.ID == currentID {
+			past = true
+			continue
+		}
+		if !past {
+			continue
+		}
+		if z, ok := m.Feasible(caps, pos, w); ok {
+			return m, z, true
+		}
+	}
+	return MRC{}, world.Zone{}, false
+}
+
+// DefaultRoadHierarchy returns the highway hierarchy used in the
+// paper's road examples: rest-stop > shoulder > in-lane safe stop >
+// emergency stop.
+func DefaultRoadHierarchy() *Hierarchy {
+	return MustHierarchy(
+		MRC{ID: "rest_stop", Stop: StopContinueToSafe, TargetZone: world.ZoneParking,
+			Risk: 0.1, NeedsSteering: true, NeedsPropulsion: true, MinPerception: 30},
+		MRC{ID: "shoulder", Stop: StopAdjacent, TargetZone: world.ZoneShoulder,
+			Risk: 0.4, MaxDistance: 600, NeedsSteering: true, MinPerception: 10},
+		MRC{ID: "in_lane", Stop: StopInPlace, Risk: 0.8},
+		MRC{ID: "emergency", Stop: StopEmergency, Risk: 0.95},
+	)
+}
+
+// DefaultSiteHierarchy returns the confined-site hierarchy used in
+// the mine/harbour/quarry examples: designated parking > pocket >
+// in-place safe stop > emergency stop.
+func DefaultSiteHierarchy() *Hierarchy {
+	return MustHierarchy(
+		MRC{ID: "parking", Stop: StopContinueToSafe, TargetZone: world.ZoneParking,
+			Risk: 0.1, NeedsSteering: true, NeedsPropulsion: true, MinPerception: 8},
+		MRC{ID: "pocket", Stop: StopAdjacent, TargetZone: world.ZonePocket,
+			Risk: 0.3, MaxDistance: 200, NeedsSteering: true, MinPerception: 5},
+		MRC{ID: "in_place", Stop: StopInPlace, Risk: 0.7},
+		MRC{ID: "emergency", Stop: StopEmergency, Risk: 0.95},
+	)
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"testing"
+
+	"coopmrm/internal/geom"
+	"coopmrm/internal/vehicle"
+	"coopmrm/internal/world"
+)
+
+func fullCaps() vehicle.Capabilities {
+	return vehicle.FullCapabilities(vehicle.DefaultSpec(vehicle.KindTruck))
+}
+
+func roadWorld() *world.World {
+	w := world.New()
+	w.MustAddZone(world.Zone{ID: "lane", Kind: world.ZoneLane,
+		Area: geom.NewRect(geom.V(0, 0), geom.V(1000, 4))})
+	w.MustAddZone(world.Zone{ID: "shoulder", Kind: world.ZoneShoulder,
+		Area: geom.NewRect(geom.V(0, 4), geom.V(1000, 7))})
+	w.MustAddZone(world.Zone{ID: "rest", Kind: world.ZoneParking,
+		Area: geom.NewRect(geom.V(900, 7), geom.V(950, 30))})
+	return w
+}
+
+func TestStopKindString(t *testing.T) {
+	if StopEmergency.String() != "emergency" || StopAdjacent.String() != "adjacent_refuge" {
+		t.Error("stop kind names wrong")
+	}
+	if StopKind(42).String() == "" {
+		t.Error("unknown stop kind should render")
+	}
+}
+
+func TestNewHierarchyValidation(t *testing.T) {
+	if _, err := NewHierarchy(); err == nil {
+		t.Error("empty hierarchy should error")
+	}
+	if _, err := NewHierarchy(MRC{Stop: StopInPlace, Risk: 0.5}); err == nil {
+		t.Error("empty MRC ID should error")
+	}
+	if _, err := NewHierarchy(
+		MRC{ID: "a", Stop: StopInPlace, Risk: 0.5},
+		MRC{ID: "a", Stop: StopEmergency, Risk: 0.9},
+	); err == nil {
+		t.Error("duplicate MRC ID should error")
+	}
+}
+
+func TestHierarchySortedByRisk(t *testing.T) {
+	h := MustHierarchy(
+		MRC{ID: "worst", Stop: StopEmergency, Risk: 0.9},
+		MRC{ID: "best", Stop: StopInPlace, Risk: 0.1},
+		MRC{ID: "mid", Stop: StopInPlace, Risk: 0.5},
+	)
+	got := h.MRCs()
+	if got[0].ID != "best" || got[1].ID != "mid" || got[2].ID != "worst" {
+		t.Errorf("order = %v %v %v", got[0].ID, got[1].ID, got[2].ID)
+	}
+	if _, ok := h.ByID("mid"); !ok {
+		t.Error("ByID failed")
+	}
+	if _, ok := h.ByID("nope"); ok {
+		t.Error("ByID of missing succeeded")
+	}
+}
+
+func TestSelectPrefersLowestRisk(t *testing.T) {
+	h := DefaultRoadHierarchy()
+	w := roadWorld()
+	m, zone, ok := h.Select(fullCaps(), geom.V(100, 2), w)
+	if !ok || m.ID != "rest_stop" {
+		t.Errorf("selected %v ok=%v, want rest_stop", m.ID, ok)
+	}
+	if zone.ID != "rest" {
+		t.Errorf("zone = %q", zone.ID)
+	}
+}
+
+func TestSelectCapabilityGating(t *testing.T) {
+	h := DefaultRoadHierarchy()
+	w := roadWorld()
+	caps := fullCaps()
+
+	// Propulsion dead: rest stop (needs propulsion) infeasible,
+	// shoulder (coast + steer) still works.
+	caps.Propulsion = false
+	m, _, ok := h.Select(caps, geom.V(100, 2), w)
+	if !ok || m.ID != "shoulder" {
+		t.Errorf("no-propulsion select = %v, want shoulder", m.ID)
+	}
+
+	// Steering also dead: only in-lane stop.
+	caps.Steering = false
+	m, _, ok = h.Select(caps, geom.V(100, 2), w)
+	if !ok || m.ID != "in_lane" {
+		t.Errorf("no-steering select = %v, want in_lane", m.ID)
+	}
+
+	// No brakes at all: nothing feasible.
+	caps.ServiceBrake = false
+	caps.EmergencyBrake = false
+	if _, _, ok := h.Select(caps, geom.V(100, 2), w); ok {
+		t.Error("brakeless vehicle should have no feasible MRC")
+	}
+}
+
+func TestSelectPerceptionGating(t *testing.T) {
+	h := DefaultRoadHierarchy()
+	w := roadWorld()
+	caps := fullCaps()
+	caps.PerceptionRange = 15 // below rest_stop's 30, above shoulder's 10
+	m, _, ok := h.Select(caps, geom.V(100, 2), w)
+	if !ok || m.ID != "shoulder" {
+		t.Errorf("low-perception select = %v, want shoulder", m.ID)
+	}
+}
+
+func TestSelectMaxDistance(t *testing.T) {
+	h := DefaultRoadHierarchy()
+	w := world.New()
+	// Only a shoulder, 800m away (beyond the 600m bound).
+	w.MustAddZone(world.Zone{ID: "sh", Kind: world.ZoneShoulder,
+		Area: geom.NewRect(geom.V(800, 4), geom.V(900, 7))})
+	caps := fullCaps()
+	caps.Propulsion = false // rule out rest stop via capability
+	m, _, ok := h.Select(caps, geom.V(0, 2), w)
+	if !ok || m.ID != "in_lane" {
+		t.Errorf("distant shoulder select = %v, want in_lane", m.ID)
+	}
+}
+
+func TestSelectNilWorld(t *testing.T) {
+	h := DefaultRoadHierarchy()
+	m, _, ok := h.Select(fullCaps(), geom.V(0, 0), nil)
+	if !ok || m.TargetZone != 0 {
+		t.Errorf("nil world should skip positional MRCs, got %v", m.ID)
+	}
+}
+
+func TestSelectBelow(t *testing.T) {
+	h := DefaultRoadHierarchy()
+	w := roadWorld()
+	caps := fullCaps()
+	m, _, ok := h.SelectBelow("rest_stop", caps, geom.V(100, 2), w)
+	if !ok || m.ID != "shoulder" {
+		t.Errorf("SelectBelow(rest_stop) = %v, want shoulder", m.ID)
+	}
+	m, _, ok = h.SelectBelow("in_lane", caps, geom.V(100, 2), w)
+	if !ok || m.ID != "emergency" {
+		t.Errorf("SelectBelow(in_lane) = %v, want emergency", m.ID)
+	}
+	if _, _, ok := h.SelectBelow("emergency", caps, geom.V(100, 2), w); ok {
+		t.Error("nothing below emergency")
+	}
+	// Unknown current ID: nothing is "below" it.
+	if _, _, ok := h.SelectBelow("zzz", caps, geom.V(100, 2), w); ok {
+		t.Error("unknown current should select nothing")
+	}
+}
+
+func TestDefaultHierarchiesWellFormed(t *testing.T) {
+	for _, h := range []*Hierarchy{DefaultRoadHierarchy(), DefaultSiteHierarchy()} {
+		ms := h.MRCs()
+		if len(ms) < 3 {
+			t.Fatalf("hierarchy too small: %d", len(ms))
+		}
+		for i := 1; i < len(ms); i++ {
+			if ms[i].Risk < ms[i-1].Risk {
+				t.Error("risks not ascending")
+			}
+		}
+		// The last resort must be feasible with minimal capabilities
+		// (only brakes).
+		last := ms[len(ms)-1]
+		caps := vehicle.Capabilities{EmergencyBrake: true}
+		if _, ok := last.Feasible(caps, geom.V(0, 0), nil); !ok {
+			t.Error("last-resort MRC must be feasible with brakes only")
+		}
+	}
+}

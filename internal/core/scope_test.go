@@ -1,0 +1,216 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// quarryModel builds the paper's Sec. III-A system: two digger/truck
+// pairs. Trucks need a digger (any digger); diggers need a truck.
+func quarryModel() *DependencyModel {
+	m := NewDependencyModel()
+	m.MustAddConstituent("digger1", "digger", "truck")
+	m.MustAddConstituent("digger2", "digger", "truck")
+	m.MustAddConstituent("truck1", "truck", "digger")
+	m.MustAddConstituent("truck2", "truck", "digger")
+	return m
+}
+
+func TestScopeLevelString(t *testing.T) {
+	if ScopeLocal.String() != "local" || ScopeGlobal.String() != "global" || ScopeNone.String() != "none" {
+		t.Error("scope names wrong")
+	}
+	if ScopeLevel(9).String() == "" {
+		t.Error("unknown should render")
+	}
+}
+
+func TestResolveScopeNoFailure(t *testing.T) {
+	dec := quarryModel().ResolveScope()
+	if dec.Level != ScopeNone || len(dec.Affected) != 0 || len(dec.Continuing) != 4 {
+		t.Errorf("dec = %+v", dec)
+	}
+}
+
+// Paper Sec. III-A: with two digger/truck pairs, one digger failing
+// yields a local MRC — the remaining digger serves both trucks.
+func TestResolveScopeLocalWithRedundancy(t *testing.T) {
+	dec := quarryModel().ResolveScope("digger1")
+	if dec.Level != ScopeLocal {
+		t.Fatalf("level = %v, want local", dec.Level)
+	}
+	if !reflect.DeepEqual(dec.Affected, []string{"digger1"}) {
+		t.Errorf("affected = %v", dec.Affected)
+	}
+	if !reflect.DeepEqual(dec.Continuing, []string{"digger2", "truck1", "truck2"}) {
+		t.Errorf("continuing = %v", dec.Continuing)
+	}
+	if dec.Reasons["digger1"] != "failed" {
+		t.Errorf("reasons = %v", dec.Reasons)
+	}
+}
+
+// Paper Sec. III-A: a single digger/truck pair. The digger failing
+// strands the truck (cascading dependent failure) — global MRC.
+func TestResolveScopeCascadesToGlobal(t *testing.T) {
+	m := NewDependencyModel()
+	m.MustAddConstituent("digger", "digger", "truck")
+	m.MustAddConstituent("truck", "truck", "digger")
+	dec := m.ResolveScope("digger")
+	if dec.Level != ScopeGlobal {
+		t.Fatalf("level = %v, want global", dec.Level)
+	}
+	if !reflect.DeepEqual(dec.Affected, []string{"digger", "truck"}) {
+		t.Errorf("affected = %v", dec.Affected)
+	}
+	if dec.Reasons["truck"] == "" || dec.Reasons["truck"] == "failed" {
+		t.Errorf("truck should be stranded, got %q", dec.Reasons["truck"])
+	}
+}
+
+// The paper's Sec. IV-B coordinated example: lone digger with many
+// trucks. Digger down => everything stops; one truck down => local.
+func TestResolveScopeLoneDigger(t *testing.T) {
+	m := NewDependencyModel()
+	m.MustAddConstituent("digger", "digger", "truck")
+	for _, id := range []string{"truckA", "truckB", "truckC"} {
+		m.MustAddConstituent(id, "truck", "digger")
+	}
+	if dec := m.ResolveScope("digger"); dec.Level != ScopeGlobal {
+		t.Errorf("digger down: level = %v, want global", dec.Level)
+	}
+	dec := m.ResolveScope("truckA")
+	if dec.Level != ScopeLocal || len(dec.Continuing) != 3 {
+		t.Errorf("truck down: %+v", dec)
+	}
+}
+
+func TestResolveScopeBothDiggers(t *testing.T) {
+	// Common-cause: both diggers fail (e.g. same software bug).
+	dec := quarryModel().ResolveScope("digger1", "digger2")
+	if dec.Level != ScopeGlobal || len(dec.Affected) != 4 {
+		t.Errorf("dec = %+v", dec)
+	}
+}
+
+func TestResolveScopeMultiHopCascade(t *testing.T) {
+	// crane -> forklift -> stacker chain: killing the crane strands
+	// everything downstream transitively.
+	m := NewDependencyModel()
+	m.MustAddConstituent("crane", "crane")
+	m.MustAddConstituent("forklift", "forklift", "crane")
+	m.MustAddConstituent("stacker", "stacker", "forklift")
+	dec := m.ResolveScope("crane")
+	if dec.Level != ScopeGlobal {
+		t.Fatalf("level = %v", dec.Level)
+	}
+	if dec.Reasons["stacker"] == "" {
+		t.Error("stacker should be stranded transitively")
+	}
+}
+
+func TestResolveScopeIndependentConstituents(t *testing.T) {
+	// No dependencies at all (cooperative individual goals): any
+	// failure is strictly local.
+	m := NewDependencyModel()
+	for _, id := range []string{"a", "b", "c"} {
+		m.MustAddConstituent(id, "vehicle")
+	}
+	dec := m.ResolveScope("b")
+	if dec.Level != ScopeLocal || len(dec.Affected) != 1 || len(dec.Continuing) != 2 {
+		t.Errorf("dec = %+v", dec)
+	}
+}
+
+func TestResolveScopeUnknownFailureIgnored(t *testing.T) {
+	dec := quarryModel().ResolveScope("ghost")
+	if dec.Level != ScopeNone {
+		t.Errorf("unknown failure should resolve to none, got %v", dec.Level)
+	}
+}
+
+func TestAddConstituentValidation(t *testing.T) {
+	m := NewDependencyModel()
+	if err := m.AddConstituent("", "r"); err == nil {
+		t.Error("empty ID should error")
+	}
+	if err := m.AddConstituent("a", "r"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddConstituent("a", "r"); err == nil {
+		t.Error("duplicate should error")
+	}
+	if role, ok := m.Role("a"); !ok || role != "r" {
+		t.Error("Role lookup failed")
+	}
+}
+
+func TestApplyGranularity(t *testing.T) {
+	m := quarryModel()
+	groups := map[string]string{
+		"digger1": "pair1", "truck1": "pair1",
+		"digger2": "pair2", "truck2": "pair2",
+	}
+	all := m.Constituents()
+	min := m.ResolveScope("digger1")
+
+	per := ApplyGranularity(min, GranularityConstituent, groups, all)
+	if len(per.Affected) != 1 {
+		t.Errorf("per-constituent affected = %v", per.Affected)
+	}
+
+	grp := ApplyGranularity(min, GranularityGroup, groups, all)
+	if grp.Level != ScopeLocal || !reflect.DeepEqual(grp.Affected, []string{"digger1", "truck1"}) {
+		t.Errorf("group dec = %+v", grp)
+	}
+	if !reflect.DeepEqual(grp.Continuing, []string{"digger2", "truck2"}) {
+		t.Errorf("group continuing = %v", grp.Continuing)
+	}
+
+	glob := ApplyGranularity(min, GranularityGlobal, groups, all)
+	if glob.Level != ScopeGlobal || len(glob.Affected) != 4 {
+		t.Errorf("global dec = %+v", glob)
+	}
+
+	// ScopeNone passes through untouched.
+	none := m.ResolveScope()
+	if got := ApplyGranularity(none, GranularityGlobal, groups, all); got.Level != ScopeNone {
+		t.Error("none should pass through")
+	}
+}
+
+func TestGranularityString(t *testing.T) {
+	if GranularityGroup.String() != "per_group" || Granularity(9).String() == "" {
+		t.Error("granularity names wrong")
+	}
+}
+
+// Property: granularity widening never shrinks the affected set, and
+// affected+continuing always partitions the constituent set.
+func TestGranularityMonotoneProperty(t *testing.T) {
+	m := quarryModel()
+	groups := map[string]string{
+		"digger1": "pair1", "truck1": "pair1",
+		"digger2": "pair2", "truck2": "pair2",
+	}
+	all := m.Constituents()
+	f := func(failIdx uint8) bool {
+		failed := all[int(failIdx)%len(all)]
+		min := m.ResolveScope(failed)
+		grp := ApplyGranularity(min, GranularityGroup, groups, all)
+		glob := ApplyGranularity(min, GranularityGlobal, groups, all)
+		if len(grp.Affected) < len(min.Affected) || len(glob.Affected) < len(grp.Affected) {
+			return false
+		}
+		for _, dec := range []ScopeDecision{min, grp, glob} {
+			if len(dec.Affected)+len(dec.Continuing) != len(all) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,99 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// boxFrom decodes raw values into a bounded oriented box.
+func boxFrom(cx, cy, heading, l, w uint16) OrientedBox {
+	return OrientedBox{
+		Center:  V(float64(cx%500), float64(cy%500)),
+		Heading: float64(heading%628) / 100,
+		Length:  1 + float64(l%20),
+		Width:   1 + float64(w%10),
+	}
+}
+
+// Property: box overlap is symmetric, and every box overlaps itself.
+func TestOrientedBoxOverlapSymmetry(t *testing.T) {
+	f := func(a, b, c, d, e, f2, g, h, i, j uint16) bool {
+		b1 := boxFrom(a, b, c, d, e)
+		b2 := boxFrom(f2, g, h, i, j)
+		if !b1.Overlaps(b1) || !b2.Overlaps(b2) {
+			return false
+		}
+		return b1.Overlaps(b2) == b2.Overlaps(b1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Dist is symmetric, non-negative, and zero iff overlapping.
+func TestOrientedBoxDistConsistency(t *testing.T) {
+	f := func(a, b, c, d, e, f2, g, h, i, j uint16) bool {
+		b1 := boxFrom(a, b, c, d, e)
+		b2 := boxFrom(f2, g, h, i, j)
+		d12 := b1.Dist(b2)
+		d21 := b2.Dist(b1)
+		if d12 < 0 || math.Abs(d12-d21) > 1e-9 {
+			return false
+		}
+		if b1.Overlaps(b2) != (d12 == 0) {
+			return false
+		}
+		// The centre distance bounds the box distance from above.
+		return d12 <= b1.Center.Dist(b2.Center)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: segment intersection is symmetric and consistent with
+// SegmentDist == 0.
+func TestSegmentIntersectionConsistency(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy, dx, dy uint16) bool {
+		s1 := Segment{V(float64(ax%100), float64(ay%100)), V(float64(bx%100), float64(by%100))}
+		s2 := Segment{V(float64(cx%100), float64(cy%100)), V(float64(dx%100), float64(dy%100))}
+		if s1.Intersects(s2) != s2.Intersects(s1) {
+			return false
+		}
+		return s1.Intersects(s2) == (SegmentDist(s1, s2) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SubPath lengths compose: |SubPath(0,s)| + |SubPath(s,L)| ==
+// |path| for any split point.
+func TestSubPathComposition(t *testing.T) {
+	p := MustPath(V(0, 0), V(40, 0), V(40, 30), V(90, 30), V(90, -20))
+	f := func(raw uint16) bool {
+		s := float64(raw) / 65535 * p.Len()
+		head, err1 := p.SubPath(0, s)
+		tail, err2 := p.SubPath(s, p.Len())
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(head.Len()+tail.Len()-p.Len()) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Rect.Dist is zero exactly for contained points.
+func TestRectDistContainsConsistency(t *testing.T) {
+	r := NewRect(V(10, 10), V(60, 40))
+	f := func(xr, yr uint16) bool {
+		p := V(float64(xr%100), float64(yr%100))
+		return r.Contains(p) == (r.Dist(p) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,166 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVecBasicOps(t *testing.T) {
+	a := V(1, 2)
+	b := V(3, -4)
+	if got := a.Add(b); got != V(4, -2) {
+		t.Errorf("Add = %v, want (4,-2)", got)
+	}
+	if got := a.Sub(b); got != V(-2, 6) {
+		t.Errorf("Sub = %v, want (-2,6)", got)
+	}
+	if got := a.Scale(2); got != V(2, 4) {
+		t.Errorf("Scale = %v, want (2,4)", got)
+	}
+	if got := a.Dot(b); got != 1*3+2*(-4) {
+		t.Errorf("Dot = %v, want -5", got)
+	}
+	if got := a.Cross(b); got != 1*(-4)-2*3 {
+		t.Errorf("Cross = %v, want -10", got)
+	}
+	if got := b.Len(); got != 5 {
+		t.Errorf("Len = %v, want 5", got)
+	}
+	if got := b.LenSq(); got != 25 {
+		t.Errorf("LenSq = %v, want 25", got)
+	}
+}
+
+func TestVecDist(t *testing.T) {
+	if d := V(0, 0).Dist(V(3, 4)); d != 5 {
+		t.Errorf("Dist = %v, want 5", d)
+	}
+	if d := V(1, 1).DistSq(V(4, 5)); d != 25 {
+		t.Errorf("DistSq = %v, want 25", d)
+	}
+}
+
+func TestVecNorm(t *testing.T) {
+	n := V(3, 4).Norm()
+	if math.Abs(n.Len()-1) > 1e-12 {
+		t.Errorf("Norm length = %v, want 1", n.Len())
+	}
+	if got := (Vec2{}).Norm(); got != (Vec2{}) {
+		t.Errorf("zero Norm = %v, want zero", got)
+	}
+}
+
+func TestVecPerpRotate(t *testing.T) {
+	p := V(1, 0).Perp()
+	if !p.ApproxEq(V(0, 1), 1e-12) {
+		t.Errorf("Perp = %v, want (0,1)", p)
+	}
+	r := V(1, 0).Rotate(math.Pi / 2)
+	if !r.ApproxEq(V(0, 1), 1e-12) {
+		t.Errorf("Rotate = %v, want (0,1)", r)
+	}
+	if a := V(0, 1).Angle(); math.Abs(a-math.Pi/2) > 1e-12 {
+		t.Errorf("Angle = %v, want pi/2", a)
+	}
+}
+
+func TestVecLerp(t *testing.T) {
+	got := V(0, 0).Lerp(V(10, 20), 0.25)
+	if !got.ApproxEq(V(2.5, 5), 1e-12) {
+		t.Errorf("Lerp = %v, want (2.5,5)", got)
+	}
+}
+
+func TestPoseForwardAdvance(t *testing.T) {
+	p := Pose{Pos: V(1, 1), Heading: math.Pi / 2}
+	f := p.Forward()
+	if !f.ApproxEq(V(0, 1), 1e-12) {
+		t.Errorf("Forward = %v, want (0,1)", f)
+	}
+	q := p.Advance(3)
+	if !q.Pos.ApproxEq(V(1, 4), 1e-12) {
+		t.Errorf("Advance pos = %v, want (1,4)", q.Pos)
+	}
+}
+
+func TestNormalizeAngle(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{-math.Pi, math.Pi},
+		{3 * math.Pi, math.Pi},
+		{2 * math.Pi, 0},
+		{-math.Pi / 2, -math.Pi / 2},
+	}
+	for _, c := range cases {
+		if got := NormalizeAngle(c.in); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("NormalizeAngle(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAngleDiff(t *testing.T) {
+	if d := AngleDiff(0.1, -0.1); math.Abs(d+0.2) > 1e-12 {
+		t.Errorf("AngleDiff = %v, want -0.2", d)
+	}
+	// Wraps the short way around.
+	if d := AngleDiff(3, -3); d > 0.3 || d < 0.2 {
+		t.Errorf("AngleDiff(3,-3) = %v, want ~0.28", d)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Error("Clamp misbehaves")
+	}
+}
+
+// Property: normalisation always yields unit length (or zero) and
+// rotation preserves length.
+func TestVecProperties(t *testing.T) {
+	normLen := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+			return true
+		}
+		v := V(x, y)
+		n := v.Norm()
+		if v == (Vec2{}) {
+			return n == (Vec2{})
+		}
+		l := n.Len()
+		return l == 0 || math.Abs(l-1) < 1e-6
+	}
+	if err := quick.Check(normLen, nil); err != nil {
+		t.Error(err)
+	}
+
+	rotPreserves := func(x, y, theta float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsNaN(theta) {
+			return true
+		}
+		x = math.Mod(x, 1e6)
+		y = math.Mod(y, 1e6)
+		theta = math.Mod(theta, 2*math.Pi)
+		v := V(x, y)
+		r := v.Rotate(theta)
+		return math.Abs(r.Len()-v.Len()) < 1e-6*(1+v.Len())
+	}
+	if err := quick.Check(rotPreserves, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizeAngleProperty(t *testing.T) {
+	inRange := func(theta float64) bool {
+		if math.IsNaN(theta) || math.IsInf(theta, 0) {
+			return true
+		}
+		theta = math.Mod(theta, 1e4)
+		n := NormalizeAngle(theta)
+		return n > -math.Pi-1e-9 && n <= math.Pi+1e-9
+	}
+	if err := quick.Check(inRange, nil); err != nil {
+		t.Error(err)
+	}
+}

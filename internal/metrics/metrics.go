@@ -1,0 +1,262 @@
+// Package metrics collects the per-run measurements the experiments
+// report: productivity (task units over time), safety (collisions,
+// near misses, minimum separation, time stopped in active lanes),
+// availability (time per ADS mode), and intervention counts.
+//
+// The collector observes constituents through lightweight probes so
+// the package stays decoupled from the ADS layer.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"coopmrm/internal/geom"
+	"coopmrm/internal/sim"
+)
+
+// Probe exposes the observable state of one constituent.
+type Probe struct {
+	ID string
+	// Footprint returns the current collision footprint.
+	Footprint func() geom.OrientedBox
+	// Mode returns the current ADS mode label ("nominal", "mrc", ...).
+	Mode func() string
+	// InActiveLane reports whether the constituent currently occupies
+	// space that others need (used for stopped-in-lane exposure).
+	InActiveLane func() bool
+	// Stopped reports whether the constituent is stationary. When set
+	// (together with Mode), proximity events are only counted for
+	// risk-relevant pairs: at least one member in MRM/MRC, or stopped
+	// inside active space. This filters out the artefacts of the 1-D
+	// road abstraction (nominal traffic "passing through" itself and
+	// vehicles sharing a multi-bay service point). A nil Stopped makes
+	// every pair involving this probe risk-relevant.
+	Stopped func() bool
+	// StopRisk returns the residual risk of the constituent's current
+	// position. While the constituent sits in MRC this accumulates as
+	// risk exposure — the "rate of resolving the MRC" factor of the
+	// adopted MRC definition: an unresolved MRC keeps contributing
+	// risk.
+	StopRisk func() float64
+}
+
+// riskRelevant reports whether the probe currently contributes
+// transition risk.
+func riskRelevant(p Probe) bool {
+	if p.Stopped == nil {
+		return true
+	}
+	mode := p.Mode()
+	if mode == "mrm" || mode == "mrc" {
+		return true
+	}
+	return p.Stopped() && p.InActiveLane != nil && p.InActiveLane()
+}
+
+// Collector accumulates measurements over a run. Register it as a
+// post-step hook.
+type Collector struct {
+	probes []Probe
+
+	// NearMissDist is the separation below which a near miss is
+	// counted (edge-triggered per pair).
+	NearMissDist float64
+
+	taskUnits     float64
+	riskExposure  float64
+	collisions    int
+	nearMisses    int
+	minSep        float64
+	sepSeen       bool
+	modeTime      map[string]map[string]time.Duration // id -> mode -> time
+	stoppedLane   map[string]time.Duration
+	inContact     map[[2]string]bool
+	inNear        map[[2]string]bool
+	duration      time.Duration
+	interventions func() int
+}
+
+// NewCollector returns a collector over the given probes.
+func NewCollector(probes ...Probe) *Collector {
+	c := &Collector{
+		probes:       probes,
+		NearMissDist: 1.0,
+		modeTime:     make(map[string]map[string]time.Duration),
+		stoppedLane:  make(map[string]time.Duration),
+		inContact:    make(map[[2]string]bool),
+		inNear:       make(map[[2]string]bool),
+	}
+	for _, p := range probes {
+		c.modeTime[p.ID] = make(map[string]time.Duration)
+	}
+	return c
+}
+
+// SetInterventionCounter wires a callback returning the cumulative
+// intervention count (queried at report time).
+func (c *Collector) SetInterventionCounter(f func() int) { c.interventions = f }
+
+// AddTaskUnits records completed productive work (loads delivered,
+// containers stacked, metres of goal progress — scenario-defined).
+func (c *Collector) AddTaskUnits(units float64) { c.taskUnits += units }
+
+// TaskUnits returns the accumulated productive work.
+func (c *Collector) TaskUnits() float64 { return c.taskUnits }
+
+// Hook returns the per-tick sampling hook.
+func (c *Collector) Hook() sim.Hook {
+	return func(env *sim.Env) { c.Sample(env) }
+}
+
+// Sample takes one measurement tick.
+func (c *Collector) Sample(env *sim.Env) {
+	dt := env.Clock.Step()
+	c.duration += dt
+	for _, p := range c.probes {
+		mode := p.Mode()
+		c.modeTime[p.ID][mode] += dt
+		if (mode == "mrc" || mode == "mrm") && p.InActiveLane != nil && p.InActiveLane() {
+			c.stoppedLane[p.ID] += dt
+		}
+		if mode == "mrc" && p.StopRisk != nil {
+			c.riskExposure += p.StopRisk() * dt.Seconds()
+		}
+	}
+	// Pairwise proximity over risk-relevant pairs.
+	for i := 0; i < len(c.probes); i++ {
+		for j := i + 1; j < len(c.probes); j++ {
+			a, b := c.probes[i], c.probes[j]
+			if !riskRelevant(a) && !riskRelevant(b) {
+				key := [2]string{a.ID, b.ID}
+				c.inContact[key] = false
+				c.inNear[key] = false
+				continue
+			}
+			d := a.Footprint().Dist(b.Footprint())
+			if !c.sepSeen || d < c.minSep {
+				c.minSep = d
+				c.sepSeen = true
+			}
+			key := [2]string{a.ID, b.ID}
+			if d == 0 {
+				if !c.inContact[key] {
+					c.inContact[key] = true
+					c.collisions++
+					env.Emit(sim.EventCollision, a.ID+"+"+b.ID, "footprint overlap")
+				}
+			} else {
+				c.inContact[key] = false
+				if d < c.NearMissDist {
+					if !c.inNear[key] {
+						c.inNear[key] = true
+						c.nearMisses++
+						env.Emit(sim.EventNearMiss, a.ID+"+"+b.ID,
+							fmt.Sprintf("separation %.2fm", d))
+					}
+				} else {
+					c.inNear[key] = false
+				}
+			}
+		}
+	}
+}
+
+// Report summarises a finished run.
+type Report struct {
+	Duration      time.Duration
+	TaskUnits     float64
+	Productivity  float64 // task units per simulated minute
+	Collisions    int
+	NearMisses    int
+	MinSeparation float64
+	Interventions int
+	// ModeShare maps constituent -> mode -> fraction of run time.
+	ModeShare map[string]map[string]float64
+	// OperationalShare is the mean fraction of time constituents
+	// spent pursuing the strategic goal (nominal+degraded).
+	OperationalShare float64
+	// StoppedInLane is total time constituents sat stopped in active
+	// space during MRM/MRC.
+	StoppedInLane time.Duration
+	// RiskExposure is the integral of residual stop risk over time
+	// spent in MRC (risk-seconds): the longer MRCs stay unresolved,
+	// the larger it grows.
+	RiskExposure float64
+}
+
+// Report computes the summary.
+func (c *Collector) Report() Report {
+	r := Report{
+		Duration:      c.duration,
+		TaskUnits:     c.taskUnits,
+		Collisions:    c.collisions,
+		NearMisses:    c.nearMisses,
+		MinSeparation: c.minSep,
+		RiskExposure:  c.riskExposure,
+		ModeShare:     make(map[string]map[string]float64, len(c.probes)),
+	}
+	if !c.sepSeen {
+		r.MinSeparation = -1
+	}
+	if c.duration > 0 {
+		r.Productivity = c.taskUnits / c.duration.Minutes()
+	}
+	if c.interventions != nil {
+		r.Interventions = c.interventions()
+	}
+	var opSum float64
+	for _, p := range c.probes {
+		share := make(map[string]float64)
+		for mode, d := range c.modeTime[p.ID] {
+			if c.duration > 0 {
+				share[mode] = d.Seconds() / c.duration.Seconds()
+			}
+		}
+		r.ModeShare[p.ID] = share
+		opSum += share["nominal"] + share["degraded"]
+		r.StoppedInLane += c.stoppedLane[p.ID]
+	}
+	if len(c.probes) > 0 {
+		r.OperationalShare = opSum / float64(len(c.probes))
+	}
+	return r
+}
+
+// String renders the report for CLI output.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "duration           %s\n", r.Duration)
+	fmt.Fprintf(&b, "task units         %.1f\n", r.TaskUnits)
+	fmt.Fprintf(&b, "productivity       %.2f units/min\n", r.Productivity)
+	fmt.Fprintf(&b, "operational share  %.1f%%\n", r.OperationalShare*100)
+	fmt.Fprintf(&b, "collisions         %d\n", r.Collisions)
+	fmt.Fprintf(&b, "near misses        %d\n", r.NearMisses)
+	if r.MinSeparation >= 0 {
+		fmt.Fprintf(&b, "min separation     %.2f m\n", r.MinSeparation)
+	}
+	fmt.Fprintf(&b, "interventions      %d\n", r.Interventions)
+	fmt.Fprintf(&b, "stopped in lane    %s\n", r.StoppedInLane)
+	fmt.Fprintf(&b, "risk exposure      %.1f risk-s\n", r.RiskExposure)
+	ids := make([]string, 0, len(r.ModeShare))
+	for id := range r.ModeShare {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		share := r.ModeShare[id]
+		modes := make([]string, 0, len(share))
+		for m := range share {
+			modes = append(modes, m)
+		}
+		sort.Strings(modes)
+		fmt.Fprintf(&b, "  %-12s", id)
+		for _, m := range modes {
+			fmt.Fprintf(&b, " %s=%.0f%%", m, share[m]*100)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"coopmrm/internal/geom"
+	"coopmrm/internal/sim"
+)
+
+type fakeVehicle struct {
+	pos  geom.Vec2
+	mode string
+	lane bool
+}
+
+func (f *fakeVehicle) probe(id string) Probe {
+	return Probe{
+		ID: id,
+		Footprint: func() geom.OrientedBox {
+			return geom.OrientedBox{Center: f.pos, Length: 4, Width: 2}
+		},
+		Mode:         func() string { return f.mode },
+		InActiveLane: func() bool { return f.lane },
+	}
+}
+
+func env(step time.Duration) *sim.Env {
+	e := sim.NewEngine(sim.Config{Step: step})
+	return e.Env()
+}
+
+func TestModeTimeAndOperationalShare(t *testing.T) {
+	a := &fakeVehicle{pos: geom.V(0, 0), mode: "nominal"}
+	b := &fakeVehicle{pos: geom.V(100, 0), mode: "mrc"}
+	c := NewCollector(a.probe("a"), b.probe("b"))
+	e := sim.NewEngine(sim.Config{Step: time.Second})
+	e.AddPostHook(c.Hook())
+	e.RunFor(10 * time.Second)
+
+	r := c.Report()
+	if r.Duration != 10*time.Second {
+		t.Errorf("duration = %v", r.Duration)
+	}
+	if got := r.ModeShare["a"]["nominal"]; got != 1 {
+		t.Errorf("a nominal share = %v", got)
+	}
+	if got := r.ModeShare["b"]["mrc"]; got != 1 {
+		t.Errorf("b mrc share = %v", got)
+	}
+	if r.OperationalShare != 0.5 {
+		t.Errorf("operational share = %v, want 0.5", r.OperationalShare)
+	}
+}
+
+func TestCollisionEdgeTriggered(t *testing.T) {
+	a := &fakeVehicle{pos: geom.V(0, 0), mode: "nominal"}
+	b := &fakeVehicle{pos: geom.V(100, 0), mode: "nominal"}
+	c := NewCollector(a.probe("a"), b.probe("b"))
+	ev := env(100 * time.Millisecond)
+
+	c.Sample(ev)
+	if c.Report().Collisions != 0 {
+		t.Fatal("no collision yet")
+	}
+	b.pos = geom.V(3, 0) // overlapping
+	c.Sample(ev)
+	c.Sample(ev)
+	c.Sample(ev)
+	if got := c.Report().Collisions; got != 1 {
+		t.Errorf("collisions = %d, want 1 (edge-triggered)", got)
+	}
+	// Separate and collide again: a second event.
+	b.pos = geom.V(100, 0)
+	c.Sample(ev)
+	b.pos = geom.V(3, 0)
+	c.Sample(ev)
+	if got := c.Report().Collisions; got != 2 {
+		t.Errorf("collisions = %d, want 2", got)
+	}
+	if ev.Log.Count(sim.EventCollision) != 2 {
+		t.Error("collision events missing")
+	}
+}
+
+func TestNearMissAndMinSeparation(t *testing.T) {
+	a := &fakeVehicle{pos: geom.V(0, 0), mode: "nominal"}
+	b := &fakeVehicle{pos: geom.V(10, 0), mode: "nominal"}
+	c := NewCollector(a.probe("a"), b.probe("b"))
+	ev := env(100 * time.Millisecond)
+	c.Sample(ev)
+	b.pos = geom.V(4.5, 0) // gap = 0.5 < 1.0
+	c.Sample(ev)
+	c.Sample(ev)
+	r := c.Report()
+	if r.NearMisses != 1 {
+		t.Errorf("near misses = %d, want 1", r.NearMisses)
+	}
+	if r.MinSeparation > 0.51 || r.MinSeparation < 0.49 {
+		t.Errorf("min separation = %v", r.MinSeparation)
+	}
+}
+
+func TestStoppedInLane(t *testing.T) {
+	a := &fakeVehicle{pos: geom.V(0, 0), mode: "mrc", lane: true}
+	c := NewCollector(a.probe("a"))
+	e := sim.NewEngine(sim.Config{Step: time.Second})
+	e.AddPostHook(c.Hook())
+	e.RunFor(5 * time.Second)
+	if got := c.Report().StoppedInLane; got != 5*time.Second {
+		t.Errorf("stopped in lane = %v", got)
+	}
+	// Not counted when off-lane.
+	a.lane = false
+	e.RunFor(5 * time.Second)
+	if got := c.Report().StoppedInLane; got != 5*time.Second {
+		t.Errorf("off-lane time counted: %v", got)
+	}
+}
+
+func TestProductivityAndInterventions(t *testing.T) {
+	c := NewCollector()
+	n := 0
+	c.SetInterventionCounter(func() int { return n })
+	e := sim.NewEngine(sim.Config{Step: time.Second})
+	e.AddPostHook(c.Hook())
+	e.RunFor(2 * time.Minute)
+	c.AddTaskUnits(6)
+	n = 3
+	r := c.Report()
+	if r.Productivity != 3 {
+		t.Errorf("productivity = %v units/min, want 3", r.Productivity)
+	}
+	if r.Interventions != 3 {
+		t.Errorf("interventions = %d", r.Interventions)
+	}
+	if r.MinSeparation != -1 {
+		t.Errorf("no pairs should report min separation -1, got %v", r.MinSeparation)
+	}
+	if c.TaskUnits() != 6 {
+		t.Error("TaskUnits accessor wrong")
+	}
+}
+
+func TestEmptyReport(t *testing.T) {
+	r := NewCollector().Report()
+	if r.Duration != 0 || r.Productivity != 0 || r.OperationalShare != 0 {
+		t.Errorf("zero report = %+v", r)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	a := &fakeVehicle{pos: geom.V(0, 0), mode: "nominal"}
+	c := NewCollector(a.probe("a"))
+	e := sim.NewEngine(sim.Config{Step: time.Second})
+	e.AddPostHook(c.Hook())
+	e.RunFor(time.Second)
+	s := c.Report().String()
+	for _, want := range []string{"productivity", "collisions", "nominal=100%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report %q missing %q", s, want)
+		}
+	}
+}

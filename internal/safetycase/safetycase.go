@@ -1,0 +1,241 @@
+// Package safetycase builds GSN-style safety-argument skeletons for a
+// cooperative/collaborative system's MRC strategy space and counts
+// the proof obligations (evidence leaves) the argument requires.
+//
+// The paper's Fig. 2 makes a qualitative claim: allowing only the
+// global MRC yields a simpler safety case but lower productivity,
+// while fine-grained local MRCs raise productivity but increase the
+// number of MRC strategies that must be proven safe. This package
+// makes the "safety case size" half of that trade-off measurable: the
+// experiment harness pairs its obligation counts with simulated
+// productivity per granularity level.
+package safetycase
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeKind is the GSN element type.
+type NodeKind int
+
+// GSN node kinds (the subset we need).
+const (
+	KindGoal NodeKind = iota + 1
+	KindStrategy
+	KindSolution // an evidence obligation
+)
+
+var nodeKindNames = map[NodeKind]string{
+	KindGoal:     "Goal",
+	KindStrategy: "Strategy",
+	KindSolution: "Solution",
+}
+
+// String implements fmt.Stringer.
+func (k NodeKind) String() string {
+	if s, ok := nodeKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("node(%d)", int(k))
+}
+
+// Node is one element of the argument tree.
+type Node struct {
+	Kind     NodeKind
+	ID       string
+	Text     string
+	Children []*Node
+}
+
+// AddChild appends a child node and returns it.
+func (n *Node) AddChild(kind NodeKind, id, text string) *Node {
+	c := &Node{Kind: kind, ID: id, Text: text}
+	n.Children = append(n.Children, c)
+	return c
+}
+
+// Obligations counts the Solution leaves under n.
+func (n *Node) Obligations() int {
+	count := 0
+	if n.Kind == KindSolution {
+		count++
+	}
+	for _, c := range n.Children {
+		count += c.Obligations()
+	}
+	return count
+}
+
+// Nodes counts all nodes in the subtree.
+func (n *Node) Nodes() int {
+	count := 1
+	for _, c := range n.Children {
+		count += c.Nodes()
+	}
+	return count
+}
+
+// Render pretty-prints the subtree.
+func (n *Node) Render() string {
+	var b strings.Builder
+	n.render(&b, 0)
+	return b.String()
+}
+
+func (n *Node) render(b *strings.Builder, depth int) {
+	fmt.Fprintf(b, "%s[%s %s] %s\n", strings.Repeat("  ", depth), n.Kind, n.ID, n.Text)
+	for _, c := range n.Children {
+		c.render(b, depth+1)
+	}
+}
+
+// SystemSpec describes the MRC strategy space to argue over.
+type SystemSpec struct {
+	// Constituents are the system members.
+	Constituents []string
+	// Groups maps constituent -> group name; used by the per-group
+	// level. Missing entries default to a group per constituent.
+	Groups map[string]string
+	// MRCLevels is the number of MRCs in each constituent's hierarchy
+	// (each needs its own evidence).
+	MRCLevels int
+	// SharedSpace marks systems where a stopped constituent occupies
+	// space operational ones use; continuing operation near stopped
+	// vehicles then needs interaction evidence.
+	SharedSpace bool
+}
+
+func (s SystemSpec) groupsOf() map[string][]string {
+	groups := make(map[string][]string)
+	for _, c := range s.Constituents {
+		g := c
+		if s.Groups != nil {
+			if name, ok := s.Groups[c]; ok {
+				g = name
+			}
+		}
+		groups[g] = append(groups[g], c)
+	}
+	return groups
+}
+
+// Granularity mirrors the Fig. 2 levels without importing the core
+// package (the experiment harness converts).
+type Granularity int
+
+// Granularity levels.
+const (
+	GranularityGlobal Granularity = iota + 1
+	GranularityGroup
+	GranularityConstituent
+)
+
+var granularityNames = map[Granularity]string{
+	GranularityGlobal:      "global_only",
+	GranularityGroup:       "per_group",
+	GranularityConstituent: "per_constituent",
+}
+
+// String implements fmt.Stringer.
+func (g Granularity) String() string {
+	if s, ok := granularityNames[g]; ok {
+		return s
+	}
+	return fmt.Sprintf("granularity(%d)", int(g))
+}
+
+// Build constructs the safety argument for the given system at the
+// given MRC granularity.
+//
+// Structure: the top goal claims safe failure handling. One strategy
+// node per admissible MRC scope (the whole system; each group; each
+// constituent — depending on granularity). Each strategy decomposes
+// into:
+//   - per stopped member, per MRC level: "the MRM into MRC k is safe"
+//     (one solution each);
+//   - if others continue in shared space: one interaction solution per
+//     (stopped member, continuing member) pair;
+//   - one coordination solution per strategy (the joint decision /
+//     transition is proven consistent).
+func Build(spec SystemSpec, g Granularity) *Node {
+	levels := spec.MRCLevels
+	if levels < 1 {
+		levels = 1
+	}
+	root := &Node{Kind: KindGoal, ID: "G1",
+		Text: fmt.Sprintf("System of %d constituents handles failures with acceptable risk (%s MRCs)",
+			len(spec.Constituents), g)}
+
+	addScope := func(idx int, name string, stopped, continuing []string) {
+		st := root.AddChild(KindStrategy, fmt.Sprintf("S%d", idx),
+			fmt.Sprintf("argue over MRC scope %q (%d stop, %d continue)",
+				name, len(stopped), len(continuing)))
+		for _, m := range stopped {
+			gm := st.AddChild(KindGoal, "G:"+name+":"+m, m+" reaches a safe stopped state")
+			for l := 1; l <= levels; l++ {
+				gm.AddChild(KindSolution, fmt.Sprintf("Sn:%s:%s:mrc%d", name, m, l),
+					fmt.Sprintf("evidence: MRM of %s into MRC level %d is safe", m, l))
+			}
+		}
+		if spec.SharedSpace && len(continuing) > 0 {
+			gi := st.AddChild(KindGoal, "G:"+name+":interaction",
+				"continuing constituents are safe near stopped ones")
+			for _, m := range stopped {
+				for _, c := range continuing {
+					gi.AddChild(KindSolution, "Sn:"+name+":"+m+"x"+c,
+						fmt.Sprintf("evidence: %s operates safely near stopped %s", c, m))
+				}
+			}
+		}
+		st.AddChild(KindSolution, "Sn:"+name+":coord",
+			"evidence: the scope decision and joint transition are consistent")
+	}
+
+	switch g {
+	case GranularityGlobal:
+		addScope(1, "global", spec.Constituents, nil)
+	case GranularityGroup:
+		groups := spec.groupsOf()
+		names := make([]string, 0, len(groups))
+		for name := range groups {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for i, name := range names {
+			stopped := groups[name]
+			continuing := exclude(spec.Constituents, stopped)
+			addScope(i+1, name, stopped, continuing)
+		}
+		addScope(len(names)+1, "global", spec.Constituents, nil)
+	case GranularityConstituent:
+		for i, c := range spec.Constituents {
+			addScope(i+1, c, []string{c}, exclude(spec.Constituents, []string{c}))
+		}
+		addScope(len(spec.Constituents)+1, "global", spec.Constituents, nil)
+	}
+	return root
+}
+
+func exclude(all, remove []string) []string {
+	rm := make(map[string]bool, len(remove))
+	for _, r := range remove {
+		rm[r] = true
+	}
+	var out []string
+	for _, a := range all {
+		if !rm[a] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Compare returns the obligation counts for all three granularities,
+// in the order global, group, constituent.
+func Compare(spec SystemSpec) (global, group, constituent int) {
+	return Build(spec, GranularityGlobal).Obligations(),
+		Build(spec, GranularityGroup).Obligations(),
+		Build(spec, GranularityConstituent).Obligations()
+}

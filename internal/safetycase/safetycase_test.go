@@ -1,0 +1,136 @@
+package safetycase
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func quarrySpec() SystemSpec {
+	return SystemSpec{
+		Constituents: []string{"digger1", "truck1", "digger2", "truck2"},
+		Groups: map[string]string{
+			"digger1": "pair1", "truck1": "pair1",
+			"digger2": "pair2", "truck2": "pair2",
+		},
+		MRCLevels:   3,
+		SharedSpace: true,
+	}
+}
+
+func TestNodeKindString(t *testing.T) {
+	if KindGoal.String() != "Goal" || KindSolution.String() != "Solution" {
+		t.Error("node kind names wrong")
+	}
+	if NodeKind(9).String() == "" {
+		t.Error("unknown kind should render")
+	}
+}
+
+func TestGranularityString(t *testing.T) {
+	if GranularityGlobal.String() != "global_only" || Granularity(9).String() == "" {
+		t.Error("granularity names wrong")
+	}
+}
+
+func TestGlobalArgumentShape(t *testing.T) {
+	root := Build(quarrySpec(), GranularityGlobal)
+	// 4 constituents x 3 MRC levels + 1 coordination = 13 obligations.
+	if got := root.Obligations(); got != 13 {
+		t.Errorf("global obligations = %d, want 13", got)
+	}
+	if root.Nodes() <= root.Obligations() {
+		t.Error("tree must include goals/strategies beyond solutions")
+	}
+}
+
+func TestGroupArgumentShape(t *testing.T) {
+	root := Build(quarrySpec(), GranularityGroup)
+	// Per group (2 groups): 2 members x 3 levels + 2x2 interactions +
+	// 1 coord = 11 each; plus global scope 13 => 35.
+	if got := root.Obligations(); got != 35 {
+		t.Errorf("group obligations = %d, want 35", got)
+	}
+}
+
+func TestConstituentArgumentShape(t *testing.T) {
+	root := Build(quarrySpec(), GranularityConstituent)
+	// Per constituent (4): 1x3 levels + 1x3 interactions + 1 coord =
+	// 7 each => 28; plus global 13 => 41.
+	if got := root.Obligations(); got != 41 {
+		t.Errorf("constituent obligations = %d, want 41", got)
+	}
+}
+
+// The Fig. 2 claim: obligations strictly increase with granularity
+// (for systems with more than one constituent).
+func TestObligationsIncreaseWithGranularity(t *testing.T) {
+	g, gr, c := Compare(quarrySpec())
+	if !(g < gr && gr < c) {
+		t.Errorf("obligations not increasing: global=%d group=%d constituent=%d", g, gr, c)
+	}
+}
+
+func TestObligationsMonotoneProperty(t *testing.T) {
+	f := func(n uint8, levels uint8, shared bool) bool {
+		size := int(n)%6 + 2 // 2..7 constituents
+		spec := SystemSpec{
+			MRCLevels:   int(levels)%4 + 1,
+			SharedSpace: shared,
+			Groups:      map[string]string{},
+		}
+		for i := 0; i < size; i++ {
+			id := string(rune('a' + i))
+			spec.Constituents = append(spec.Constituents, id)
+			spec.Groups[id] = "g" + string(rune('0'+i%2)) // two groups
+		}
+		g, gr, c := Compare(spec)
+		return g <= gr && gr <= c && g > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNoSharedSpaceDropsInteractionEvidence(t *testing.T) {
+	spec := quarrySpec()
+	withInteraction := Build(spec, GranularityConstituent).Obligations()
+	spec.SharedSpace = false
+	without := Build(spec, GranularityConstituent).Obligations()
+	if without >= withInteraction {
+		t.Errorf("no-shared-space should need fewer obligations: %d vs %d",
+			without, withInteraction)
+	}
+}
+
+func TestMRCLevelsDefault(t *testing.T) {
+	spec := SystemSpec{Constituents: []string{"a"}}
+	root := Build(spec, GranularityGlobal)
+	// 1 constituent x 1 default level + 1 coord = 2.
+	if got := root.Obligations(); got != 2 {
+		t.Errorf("default levels obligations = %d, want 2", got)
+	}
+}
+
+func TestMissingGroupDefaultsToOwnGroup(t *testing.T) {
+	spec := SystemSpec{
+		Constituents: []string{"a", "b"},
+		MRCLevels:    1,
+	}
+	// With no Groups map, per-group degenerates to per-constituent
+	// scopes plus global.
+	grp := Build(spec, GranularityGroup).Obligations()
+	con := Build(spec, GranularityConstituent).Obligations()
+	if grp != con {
+		t.Errorf("degenerate groups: group=%d constituent=%d", grp, con)
+	}
+}
+
+func TestRender(t *testing.T) {
+	s := Build(quarrySpec(), GranularityGlobal).Render()
+	for _, want := range []string{"[Goal G1]", "[Strategy S1]", "[Solution"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q:\n%s", want, s)
+		}
+	}
+}

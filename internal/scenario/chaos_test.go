@@ -1,0 +1,192 @@
+package scenario
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"coopmrm/internal/fault"
+	"coopmrm/internal/sim"
+)
+
+// TestChaosCampaigns runs randomized fault campaigns (permanent and
+// self-clearing faults of every kind) against every policy class and
+// checks the system-level invariants that must hold regardless of
+// what breaks:
+//
+//   - every constituent ends in a coherent mode (MRC implies a chosen
+//     MRC and a stopped body; operational implies not helplessly
+//     stuck with a cleared world);
+//   - the event log is consistent (MRCs reached never exceed MRMs
+//     started; every fault injection is recorded);
+//   - the collector accounted the full horizon;
+//   - identical seeds reproduce identical outcomes.
+func TestChaosCampaigns(t *testing.T) {
+	horizon := 3 * time.Minute
+	for _, p := range AllPolicies() {
+		p := p
+		for _, seed := range []int64{3, 17} {
+			seed := seed
+			t.Run(fmt.Sprintf("%s/seed%d", p, seed), func(t *testing.T) {
+				d1 := runChaos(t, p, seed, horizon)
+				d2 := runChaos(t, p, seed, horizon)
+				if d1 != d2 {
+					t.Errorf("non-deterministic: %v vs %v", d1, d2)
+				}
+			})
+		}
+	}
+}
+
+func runChaos(t *testing.T, p PolicyKind, seed int64, horizon time.Duration) float64 {
+	t.Helper()
+	rig, err := NewQuarry(QuarryConfig{
+		Pairs: 2, TrucksPerPair: 2, Policy: p, Seed: seed, Concerted: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var targets []string
+	for _, c := range rig.All() {
+		targets = append(targets, c.ID())
+	}
+	campaign := fault.RandomCampaign(fault.CampaignConfig{
+		Targets: targets,
+		Kinds: []fault.Kind{
+			fault.KindSensor, fault.KindBrake, fault.KindSteering,
+			fault.KindPropulsion, fault.KindComm, fault.KindTool,
+			fault.KindLocalization,
+		},
+		Rate:          1.2,
+		Horizon:       horizon,
+		PermanentProb: 0.5,
+		MeanClear:     40 * time.Second,
+	}, sim.NewRNG(seed))
+	rig.Injector.MustSchedule(campaign...)
+
+	res := rig.Run(horizon)
+
+	// Mode coherence.
+	for _, c := range rig.All() {
+		switch {
+		case c.InMRC():
+			if c.CurrentMRC().ID == "" {
+				t.Errorf("%s in MRC without a chosen MRC", c.ID())
+			}
+			if !c.Body().Stopped() {
+				t.Errorf("%s in MRC but moving at %.2f m/s", c.ID(), c.Body().Speed())
+			}
+		case c.MRMActive():
+			// Executing: fine at horizon end.
+		case c.Operational():
+			if c.Goal() == "" {
+				t.Errorf("%s operational without a goal", c.ID())
+			}
+		default:
+			t.Errorf("%s in unknown mode %v", c.ID(), c.Mode())
+		}
+	}
+
+	// Log consistency.
+	log := res.Log
+	if log.Count(sim.EventMRCReached) > log.Count(sim.EventMRMStarted) {
+		t.Error("more MRCs reached than MRMs started")
+	}
+	injected := log.Count(sim.EventFaultInjected)
+	if injected != len(campaign) {
+		t.Errorf("injected events = %d, campaign = %d", injected, len(campaign))
+	}
+
+	// Collector accounting.
+	if res.Report.Duration != horizon {
+		t.Errorf("collector duration = %v, want %v", res.Report.Duration, horizon)
+	}
+	if res.Report.OperationalShare < 0 || res.Report.OperationalShare > 1 {
+		t.Errorf("operational share out of range: %v", res.Report.OperationalShare)
+	}
+	return rig.Delivered()
+}
+
+// TestChaosRecoveryCycle drives a rig through fault, MRC, user
+// recovery and a second shift — the full lifecycle under a policy.
+func TestChaosRecoveryCycle(t *testing.T) {
+	rig, err := NewQuarry(QuarryConfig{
+		Pairs: 2, TrucksPerPair: 2, Policy: PolicyStatusSharing, Seed: 5,
+		Faults: []fault.Fault{{ID: "t", Target: "truck1_1", Kind: fault.KindSensor,
+			Severity: 1, Permanent: true, At: 30 * time.Second}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig.Run(2 * time.Minute)
+	victim := rig.Trucks[0]
+	if !victim.InMRC() {
+		t.Fatalf("victim mode = %v", victim.Mode())
+	}
+	before := rig.Delivered()
+
+	victim.Recover(rig.Engine.Env())
+	rig.Run(3 * time.Minute)
+	if !victim.Operational() {
+		t.Errorf("victim mode = %v after recovery", victim.Mode())
+	}
+	if rig.Delivered() <= before {
+		t.Error("recovered system should keep delivering")
+	}
+	if victim.Interventions() != 1 {
+		t.Errorf("interventions = %d", victim.Interventions())
+	}
+	// The survivors must have dropped their avoidance after the
+	// recovery beacons.
+	for i := 1; i < len(rig.Hauls); i++ {
+		if rig.Hauls[i].Avoided("mid") || rig.Hauls[i].AvoidedEdge("load", "mid") ||
+			rig.Hauls[i].AvoidedEdge("mid", "dep") {
+			t.Errorf("truck %d still avoids the recovered truck's spot", i)
+		}
+	}
+}
+
+// A digger losing its work tool cannot load anyone: per the paper's
+// extended manoeuvre interpretation it goes to MRC, and with a second
+// digger the scope stays local.
+func TestToolLossCascadesThroughScope(t *testing.T) {
+	rig, err := NewQuarry(QuarryConfig{
+		Pairs: 2, TrucksPerPair: 1, Policy: PolicyCoordinated, Seed: 4,
+		Faults: []fault.Fault{{ID: "arm", Target: "digger1", Kind: fault.KindTool,
+			Severity: 1, Permanent: true, At: 30 * time.Second}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig.Run(3 * time.Minute)
+	if rig.Diggers[0].Operational() {
+		t.Errorf("tool-dead digger mode = %v, want MRM/MRC", rig.Diggers[0].Mode())
+	}
+	if !rig.Diggers[1].Operational() {
+		t.Error("second digger must continue (local MRC)")
+	}
+	if rig.Delivered() < 2 {
+		t.Errorf("system should keep delivering, got %v", rig.Delivered())
+	}
+}
+
+// Event times must be non-decreasing — the log is an ordered record.
+func TestEventLogOrdering(t *testing.T) {
+	rig, err := NewQuarry(QuarryConfig{Pairs: 2, TrucksPerPair: 2,
+		Policy: PolicyCoordinated, Seed: 8,
+		Faults: []fault.Fault{{ID: "f", Target: "truck1_1", Kind: fault.KindSensor,
+			Severity: 1, Permanent: true, At: 30 * time.Second}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rig.Run(3 * time.Minute)
+	events := res.Log.Events()
+	for i := 1; i < len(events); i++ {
+		if events[i].Time < events[i-1].Time {
+			t.Fatalf("event %d out of order: %v after %v", i, events[i].Time, events[i-1].Time)
+		}
+	}
+	if len(events) == 0 {
+		t.Error("expected events")
+	}
+}

@@ -1,0 +1,112 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"coopmrm/internal/core"
+	"coopmrm/internal/fault"
+	"coopmrm/internal/geom"
+	"coopmrm/internal/metrics"
+	"coopmrm/internal/odd"
+	"coopmrm/internal/platoon"
+	"coopmrm/internal/sim"
+	"coopmrm/internal/vehicle"
+	"coopmrm/internal/world"
+)
+
+// PlatoonConfig parameterises the Sec. III-B case (iv) scenario: a
+// platoon of trucks transporting goods on a public road.
+type PlatoonConfig struct {
+	Members int
+	Speed   float64
+	Seed    int64
+	Faults  []fault.Fault
+}
+
+func (c PlatoonConfig) withDefaults() PlatoonConfig {
+	if c.Members <= 0 {
+		c.Members = 5
+	}
+	if c.Speed <= 0 {
+		c.Speed = 20
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// PlatoonRig is the assembled platoon scenario.
+type PlatoonRig struct {
+	Engine    *sim.Engine
+	World     *world.World
+	Platoon   *platoon.Platoon
+	Members   []*core.Constituent
+	Collector *metrics.Collector
+	Injector  *fault.Injector
+}
+
+// Run executes the scenario for the horizon.
+func (r *PlatoonRig) Run(horizon time.Duration) Result {
+	return runFor(r.Engine, r.Collector, horizon)
+}
+
+// NewPlatoon builds the platoon rig on a long highway.
+func NewPlatoon(cfg PlatoonConfig) (*PlatoonRig, error) {
+	cfg = cfg.withDefaults()
+	const length = 200000.0
+	w := world.New()
+	w.MustAddZone(world.Zone{ID: "lane", Kind: world.ZoneLane,
+		Area: geom.NewRect(geom.V(-300, 0), geom.V(length, 4))})
+	w.MustAddZone(world.Zone{ID: "shoulder", Kind: world.ZoneShoulder,
+		Area: geom.NewRect(geom.V(-300, 4), geom.V(length, 7))})
+	w.MustAddZone(world.Zone{ID: "rest", Kind: world.ZoneParking,
+		Area: geom.NewRect(geom.V(5000, 8), geom.V(5100, 30))})
+
+	e := sim.NewEngine(sim.Config{Step: 100 * time.Millisecond, MaxTime: 24 * time.Hour, Seed: cfg.Seed})
+	rig := &PlatoonRig{Engine: e, World: w}
+	roadODD := odd.DefaultRoadSpec()
+
+	for i := 0; i < cfg.Members; i++ {
+		c := core.MustConstituent(core.Config{
+			ID:        fmt.Sprintf("member%d", i+1),
+			Spec:      vehicle.DefaultSpec(vehicle.KindTruck),
+			Start:     geom.Pose{Pos: geom.V(float64(-25*i), 2)},
+			World:     w,
+			ODD:       &roadODD,
+			Hierarchy: core.DefaultRoadHierarchy(),
+			Goal:      "transport goods",
+		})
+		e.MustRegister(c)
+		rig.Members = append(rig.Members, c)
+	}
+	path := geom.MustPath(geom.V(-300, 2), geom.V(length, 2)).SetName("mission")
+	rig.Platoon = platoon.MustNew("platoon", path, rig.Members...)
+	rig.Platoon.Speed = cfg.Speed
+	e.MustRegister(rig.Platoon)
+
+	probes := make([]metrics.Probe, 0, len(rig.Members))
+	for _, c := range rig.Members {
+		probes = append(probes, probeFor(c, w))
+	}
+	rig.Collector = metrics.NewCollector(probes...)
+	rig.Collector.SetInterventionCounter(func() int {
+		n := 0
+		for _, c := range rig.Members {
+			n += c.Interventions()
+		}
+		return n
+	})
+	e.AddPostHook(rig.Collector.Hook())
+
+	rig.Injector = fault.NewInjector(nil)
+	for _, c := range rig.Members {
+		rig.Injector.RegisterHandler(c.ID(), c)
+	}
+	if err := rig.Injector.Schedule(cfg.Faults...); err != nil {
+		return nil, err
+	}
+	e.AddPreHook(rig.Injector.Hook())
+	return rig, nil
+}

@@ -1,0 +1,380 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"coopmrm/internal/agent"
+	"coopmrm/internal/collab"
+	"coopmrm/internal/comm"
+	"coopmrm/internal/coop"
+	"coopmrm/internal/core"
+	"coopmrm/internal/fault"
+	"coopmrm/internal/geom"
+	"coopmrm/internal/metrics"
+	"coopmrm/internal/sensor"
+	"coopmrm/internal/sim"
+	"coopmrm/internal/tms"
+	"coopmrm/internal/vehicle"
+	"coopmrm/internal/world"
+)
+
+// QuarryConfig parameterises the quarry scenario: Pairs digger/truck
+// pairs collaborate to move material from the loading point to the
+// deposit (the paper's Sec. III-A running example).
+type QuarryConfig struct {
+	Pairs         int
+	TrucksPerPair int
+	Policy        PolicyKind
+	// Granularity applies to the orchestrated policy (Fig. 2 levels).
+	Granularity core.Granularity
+	// Concerted selects the orchestrated global-MRC style.
+	Concerted bool
+	Seed      int64
+	// Faults is the injection schedule.
+	Faults []fault.Fault
+	// Tasks is the number of haul tasks on the TMS board
+	// (orchestrated only); 0 means a generous default.
+	Tasks int
+	// BeaconPeriod is the status-beacon interval of the V2X policies
+	// (default 1s) — the A2 ablation knob.
+	BeaconPeriod time.Duration
+	// Patience overrides the agents' pass-around patience (default
+	// 8s) — the A3 ablation knob.
+	Patience time.Duration
+}
+
+func (c QuarryConfig) withDefaults() QuarryConfig {
+	if c.Pairs <= 0 {
+		c.Pairs = 2
+	}
+	if c.TrucksPerPair <= 0 {
+		c.TrucksPerPair = 1
+	}
+	if c.Policy == 0 {
+		c.Policy = PolicyCoordinated
+	}
+	if c.Granularity == 0 {
+		c.Granularity = core.GranularityConstituent
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Tasks <= 0 {
+		c.Tasks = 200
+	}
+	if c.BeaconPeriod <= 0 {
+		c.BeaconPeriod = time.Second
+	}
+	return c
+}
+
+// QuarryRig is the assembled quarry scenario.
+type QuarryRig struct {
+	Engine    *sim.Engine
+	World     *world.World
+	Net       *comm.Network
+	Model     *core.DependencyModel
+	Diggers   []*core.Constituent
+	Trucks    []*core.Constituent
+	Hauls     []*agent.HaulAgent // truck haul agents, same order as Trucks
+	Groups    map[string]string  // constituent -> pair name
+	Collector *metrics.Collector
+	Injector  *fault.Injector
+	Director  *collab.Director // orchestrated only
+	Board     *tms.Board       // orchestrated only
+	Authority *coop.Authority  // prescriptive only
+	// Policies holds the per-constituent policy entities in
+	// registration order (empty for the baseline), so experiments can
+	// reach class-specific knobs (evacuations, designed responses).
+	Policies []sim.Entity
+}
+
+// All returns every constituent (diggers then trucks).
+func (r *QuarryRig) All() []*core.Constituent {
+	out := make([]*core.Constituent, 0, len(r.Diggers)+len(r.Trucks))
+	out = append(out, r.Diggers...)
+	out = append(out, r.Trucks...)
+	return out
+}
+
+// Run executes the scenario for the horizon.
+func (r *QuarryRig) Run(horizon time.Duration) Result {
+	return runFor(r.Engine, r.Collector, horizon)
+}
+
+// Delivered returns the total units delivered by the trucks' haul
+// agents plus the TMS board (orchestrated).
+func (r *QuarryRig) Delivered() float64 {
+	sum := 0.0
+	for _, h := range r.Hauls {
+		sum += h.Delivered()
+	}
+	if r.Board != nil {
+		sum += r.Board.DoneUnits()
+	}
+	return sum
+}
+
+// NewQuarry builds the quarry rig.
+func NewQuarry(cfg QuarryConfig) (*QuarryRig, error) {
+	cfg = cfg.withDefaults()
+	w := world.New()
+	g := w.Graph()
+	g.AddNode("load", geom.V(0, 0))
+	g.AddNode("mid", geom.V(150, 0))
+	g.AddNode("dep", geom.V(300, 0))
+	g.AddNode("alt", geom.V(150, 120))
+	g.MustConnect("load", "mid")
+	g.MustConnect("mid", "dep")
+	g.MustConnect("load", "alt")
+	g.MustConnect("alt", "dep")
+	w.MustAddZone(world.Zone{ID: "loading", Kind: world.ZoneLoading,
+		Area: geom.NewRect(geom.V(-15, -15), geom.V(15, 15))})
+	w.MustAddZone(world.Zone{ID: "deposit", Kind: world.ZoneUnloading,
+		Area: geom.NewRect(geom.V(285, -15), geom.V(315, 15))})
+	w.MustAddZone(world.Zone{ID: "haulroad", Kind: world.ZoneTunnel,
+		Area: geom.NewRect(geom.V(15, -6), geom.V(285, 6))})
+	w.MustAddZone(world.Zone{ID: "pocket", Kind: world.ZonePocket,
+		Area: geom.NewRect(geom.V(140, 8), geom.V(160, 18))})
+	w.MustAddZone(world.Zone{ID: "park", Kind: world.ZoneParking,
+		Area: geom.NewRect(geom.V(-90, -90), geom.V(-30, -30))})
+
+	e := sim.NewEngine(sim.Config{Step: 100 * time.Millisecond, MaxTime: 24 * time.Hour, Seed: cfg.Seed})
+	net := comm.NewNetwork(comm.NetConfig{Latency: 50 * time.Millisecond}, sim.NewRNG(cfg.Seed))
+	e.AddPreHook(net.Hook())
+
+	rig := &QuarryRig{
+		Engine: e, World: w, Net: net,
+		Model:  core.NewDependencyModel(),
+		Groups: make(map[string]string),
+	}
+
+	// Diggers.
+	operationalDigger := func() bool {
+		for _, d := range rig.Diggers {
+			if d.Operational() {
+				return true
+			}
+		}
+		return false
+	}
+	for p := 0; p < cfg.Pairs; p++ {
+		id := fmt.Sprintf("digger%d", p+1)
+		net.MustRegister(id)
+		d := core.MustConstituent(core.Config{
+			ID:    id,
+			Spec:  vehicle.DefaultSpec(vehicle.KindDigger),
+			Start: geom.Pose{Pos: geom.V(5, float64(6*(p+1))), Heading: 0},
+			World: w,
+			Net:   net,
+			Goal:  "load trucks",
+		})
+		e.MustRegister(d)
+		rig.Diggers = append(rig.Diggers, d)
+		rig.Model.MustAddConstituent(id, "digger", "truck")
+		rig.Groups[id] = fmt.Sprintf("pair%d", p+1)
+	}
+	// Trucks.
+	for p := 0; p < cfg.Pairs; p++ {
+		for k := 0; k < cfg.TrucksPerPair; k++ {
+			id := fmt.Sprintf("truck%d_%d", p+1, k+1)
+			net.MustRegister(id)
+			c := core.MustConstituent(core.Config{
+				ID:    id,
+				Spec:  vehicle.DefaultSpec(vehicle.KindTruck),
+				Start: geom.Pose{Pos: geom.V(float64(-14*(p*cfg.TrucksPerPair+k+1)), 0)},
+				World: w,
+				Net:   net,
+				Goal:  "haul material",
+			})
+			e.MustRegister(c)
+			rig.Trucks = append(rig.Trucks, c)
+			rig.Model.MustAddConstituent(id, "truck", "digger")
+			rig.Groups[id] = fmt.Sprintf("pair%d", p+1)
+		}
+	}
+
+	// Haul agents for trucks (all policies but orchestrated use them;
+	// orchestrated drives via TMS tasks instead).
+	if cfg.Policy != PolicyOrchestrated {
+		for _, c := range rig.Trucks {
+			c := c
+			h := agent.New(agent.Config{
+				C:               c,
+				Graph:           g,
+				Loop:            []string{"dep", "load"},
+				DepositNodes:    map[string]bool{"dep": true},
+				UnitsPerDeposit: 1,
+				Speed:           8,
+				ServiceNodes:    map[string]bool{"load": true},
+				ServiceTime:     3 * time.Second,
+				ServiceGate:     operationalDigger,
+				Neighbors:       rig.neighborsOf(c),
+				World:           w,
+				Patience:        cfg.Patience,
+			})
+			e.MustRegister(h)
+			rig.Hauls = append(rig.Hauls, h)
+		}
+	}
+
+	if err := rig.wirePolicy(cfg); err != nil {
+		return nil, err
+	}
+
+	// Metrics and fault injection.
+	probes := make([]metrics.Probe, 0, len(rig.All()))
+	for _, c := range rig.All() {
+		probes = append(probes, probeFor(c, w))
+	}
+	rig.Collector = metrics.NewCollector(probes...)
+	rig.Collector.SetInterventionCounter(func() int {
+		n := 0
+		for _, c := range rig.All() {
+			n += c.Interventions()
+		}
+		return n
+	})
+	e.AddPostHook(rig.Collector.Hook())
+
+	rig.Injector = fault.NewInjector(func(event string, f fault.Fault) {
+		kind := sim.EventFaultInjected
+		if event == "clear" {
+			kind = sim.EventFaultCleared
+		}
+		e.Env().Log.Append(sim.Event{
+			Time: e.Env().Clock.Now(), Tick: e.Env().Clock.Tick(),
+			Kind: kind, Subject: f.Target, Detail: f.Kind.String() + "/" + f.ID,
+		})
+	})
+	for _, c := range rig.All() {
+		rig.Injector.RegisterHandler(c.ID(), c)
+	}
+	if err := rig.Injector.Schedule(cfg.Faults...); err != nil {
+		return nil, err
+	}
+	e.AddPreHook(rig.Injector.Hook())
+	return rig, nil
+}
+
+// neighborsOf returns the detection targets for one constituent: the
+// positions of every other constituent.
+func (r *QuarryRig) neighborsOf(self *core.Constituent) func() []sensor.Target {
+	return func() []sensor.Target {
+		var out []sensor.Target
+		for _, o := range r.All() {
+			if o != self {
+				out = append(out, sensor.Target{ID: o.ID(), Pos: o.Body().Position()})
+			}
+		}
+		return out
+	}
+}
+
+func (r *QuarryRig) addPolicy(p sim.Entity) {
+	r.Engine.MustRegister(p)
+	r.Policies = append(r.Policies, p)
+}
+
+func (r *QuarryRig) wirePolicy(cfg QuarryConfig) error {
+	g := r.World.Graph()
+	period := cfg.BeaconPeriod
+	newBase := func(h *agent.HaulAgent) *coop.Base {
+		b := coop.NewBase(h, r.Net, g, period)
+		b.World = r.World
+		return b
+	}
+	switch cfg.Policy {
+	case PolicyBaseline:
+		// No interaction at all.
+	case PolicyStatusSharing:
+		for i, c := range r.Trucks {
+			_ = c
+			r.addPolicy(coop.NewStatusSharing(newBase(r.Hauls[i])))
+		}
+	case PolicyIntentSharing:
+		for i := range r.Trucks {
+			r.addPolicy(coop.NewIntentSharing(newBase(r.Hauls[i])))
+		}
+	case PolicyAgreementSeeking:
+		ids := make([]string, 0, len(r.Trucks))
+		for _, c := range r.Trucks {
+			ids = append(ids, c.ID())
+		}
+		for i, c := range r.Trucks {
+			peers := make([]string, 0, len(ids)-1)
+			for _, id := range ids {
+				if id != c.ID() {
+					peers = append(peers, id)
+				}
+			}
+			r.addPolicy(coop.NewAgreementSeeking(newBase(r.Hauls[i]), peers))
+		}
+	case PolicyPrescriptive:
+		r.Net.MustRegister("authority")
+		r.Authority = coop.NewAuthority("authority", r.Net)
+		r.Engine.MustRegister(r.Authority)
+		for i := range r.Trucks {
+			r.addPolicy(coop.NewPrescriptive(newBase(r.Hauls[i])))
+		}
+	case PolicyCoordinated:
+		for _, d := range r.Diggers {
+			dh := agent.New(agent.Config{C: d, Graph: g})
+			r.Engine.MustRegister(dh)
+			r.addPolicy(collab.NewCoordinated(newBase(dh), r.Model))
+		}
+		for i := range r.Trucks {
+			r.addPolicy(collab.NewCoordinated(newBase(r.Hauls[i]), r.Model))
+		}
+	case PolicyChoreographed:
+		board := collab.NewCheckInBoard()
+		ids := make([]string, 0, len(r.Trucks))
+		for _, c := range r.Trucks {
+			ids = append(ids, c.ID())
+		}
+		for i, c := range r.Trucks {
+			watch := make([]string, 0, len(ids)-1)
+			for _, id := range ids {
+				if id != c.ID() {
+					watch = append(watch, id)
+				}
+			}
+			p := collab.NewChoreographed(r.Hauls[i], board, watch)
+			p.Deadline = 3 * time.Minute
+			p.Response = collab.ResponseAlternateRoute
+			p.AlternateAvoid = "mid"
+			r.addPolicy(p)
+		}
+	case PolicyOrchestrated:
+		r.Board = tms.NewBoard()
+		for i := 0; i < cfg.Tasks; i++ {
+			r.Board.MustAdd(tms.Task{
+				ID: fmt.Sprintf("haul-%03d", i), Kind: "haul",
+				From: "load", To: "dep", Units: 1, RequiredRole: "truck",
+			})
+		}
+		roles := make(map[string]string)
+		for _, d := range r.Diggers {
+			roles[d.ID()] = "digger"
+		}
+		for _, c := range r.Trucks {
+			roles[c.ID()] = "truck"
+		}
+		r.Net.MustRegister("tms")
+		r.Director = collab.NewDirector("tms", r.Net, r.Board, r.Model, roles)
+		r.Director.Granularity = cfg.Granularity
+		r.Director.Groups = r.Groups
+		r.Director.Concerted = cfg.Concerted
+		r.Engine.MustRegister(r.Director)
+		for _, c := range r.All() {
+			o := collab.NewOrchestrated(c, r.Net, g, "tms", 10)
+			o.Monitor = agent.NewObstacleMonitor(c, r.neighborsOf(c), r.World)
+			o.World = r.World
+			r.addPolicy(o)
+		}
+	default:
+		return fmt.Errorf("scenario: unsupported quarry policy %v", cfg.Policy)
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package scenario
+
+import (
+	"time"
+
+	"coopmrm/internal/core"
+	"coopmrm/internal/sim"
+)
+
+// RepairCrew models the site's human response to MRCs: each stopped
+// constituent is recovered (repaired and restarted) a fixed response
+// time after it reaches MRC. The adopted MRC definition makes the
+// *rate of resolving* an MRC part of its acceptability — residual
+// risk accumulates while an MRC stays unresolved — and the crew's
+// ResponseTime is exactly that knob (ablation A5).
+type RepairCrew struct {
+	id           string
+	constituents []*core.Constituent
+	// ResponseTime is the delay between a constituent reaching MRC
+	// and the crew recovering it.
+	ResponseTime time.Duration
+
+	since map[string]time.Duration // first seen in MRC
+}
+
+var _ sim.Entity = (*RepairCrew)(nil)
+
+// NewRepairCrew returns a crew responsible for the given
+// constituents.
+func NewRepairCrew(id string, responseTime time.Duration, constituents ...*core.Constituent) *RepairCrew {
+	cs := make([]*core.Constituent, len(constituents))
+	copy(cs, constituents)
+	return &RepairCrew{
+		id:           id,
+		constituents: cs,
+		ResponseTime: responseTime,
+		since:        make(map[string]time.Duration),
+	}
+}
+
+// ID implements sim.Entity.
+func (r *RepairCrew) ID() string { return r.id }
+
+// Step implements sim.Entity.
+func (r *RepairCrew) Step(env *sim.Env) {
+	now := env.Clock.Now()
+	for _, c := range r.constituents {
+		if !c.InMRC() {
+			delete(r.since, c.ID())
+			continue
+		}
+		first, seen := r.since[c.ID()]
+		if !seen {
+			r.since[c.ID()] = now
+			continue
+		}
+		if now-first >= r.ResponseTime {
+			delete(r.since, c.ID())
+			c.Recover(env)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"coopmrm/internal/fault"
+	"coopmrm/internal/sim"
+)
+
+// TestScaleOrchestrated drives a large orchestrated site (5 pairs x 3
+// trucks = 20 constituents) through a half-hour shift with a fault
+// campaign — the scalability smoke test. Skipped under -short.
+func TestScaleOrchestrated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test skipped in -short mode")
+	}
+	rig, err := NewQuarry(QuarryConfig{
+		Pairs: 5, TrucksPerPair: 3,
+		Policy:    PolicyOrchestrated,
+		Concerted: true,
+		Seed:      21,
+		Tasks:     1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var targets []string
+	for _, c := range rig.All() {
+		targets = append(targets, c.ID())
+	}
+	campaign := fault.RandomCampaign(fault.CampaignConfig{
+		Targets:       targets,
+		Kinds:         []fault.Kind{fault.KindSensor, fault.KindBrake, fault.KindComm},
+		Rate:          0.6,
+		Horizon:       30 * time.Minute,
+		PermanentProb: 0.4,
+		MeanClear:     time.Minute,
+	}, sim.NewRNG(21))
+	rig.Injector.MustSchedule(campaign...)
+
+	res := rig.Run(30 * time.Minute)
+
+	if rig.Board.Stats().Done < 20 {
+		t.Errorf("large site completed only %d tasks", rig.Board.Stats().Done)
+	}
+	if res.Report.Duration != 30*time.Minute {
+		t.Errorf("duration = %v", res.Report.Duration)
+	}
+	// Sanity on the whole population.
+	for _, c := range rig.All() {
+		if c.Mode().String() == "" {
+			t.Errorf("%s has no mode", c.ID())
+		}
+	}
+}
+
+// BenchmarkQuarryMinute measures simulation throughput: one simulated
+// minute of the standard coordinated quarry per iteration.
+func BenchmarkQuarryMinute(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rig, err := NewQuarry(QuarryConfig{
+			Pairs: 2, TrucksPerPair: 2, Policy: PolicyCoordinated, Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rig.Run(time.Minute)
+	}
+}
+
+// BenchmarkHighwayMinute measures the freeway rig's throughput.
+func BenchmarkHighwayMinute(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rig, err := NewHighway(HighwayConfig{NCars: 5, Policy: PolicyIntentSharing, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rig.Run(time.Minute)
+	}
+}

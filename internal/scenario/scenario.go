@@ -1,0 +1,99 @@
+// Package scenario composes the substrate and policy layers into the
+// named situations used by the paper, the experiment harness, and the
+// examples: the quarry (digger/truck pairs), the harbour (crane and
+// forklifts), the highway (individual AV and mixed traffic), and the
+// platoon. Each builder returns a rig exposing the engine and the
+// relevant components so experiments can inject faults and read
+// results.
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"coopmrm/internal/core"
+	"coopmrm/internal/metrics"
+	"coopmrm/internal/sim"
+	"coopmrm/internal/world"
+)
+
+// PolicyKind selects the interaction class wired into a rig.
+type PolicyKind int
+
+// Policy kinds: the individual-AV baseline plus the seven classes of
+// Table I.
+const (
+	PolicyBaseline PolicyKind = iota + 1
+	PolicyStatusSharing
+	PolicyIntentSharing
+	PolicyAgreementSeeking
+	PolicyPrescriptive
+	PolicyCoordinated
+	PolicyChoreographed
+	PolicyOrchestrated
+)
+
+var policyNames = map[PolicyKind]string{
+	PolicyBaseline:         "baseline",
+	PolicyStatusSharing:    "status_sharing",
+	PolicyIntentSharing:    "intent_sharing",
+	PolicyAgreementSeeking: "agreement_seeking",
+	PolicyPrescriptive:     "prescriptive",
+	PolicyCoordinated:      "coordinated",
+	PolicyChoreographed:    "choreographed",
+	PolicyOrchestrated:     "orchestrated",
+}
+
+// String implements fmt.Stringer.
+func (p PolicyKind) String() string {
+	if s, ok := policyNames[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// AllPolicies lists every policy kind including the baseline, in
+// Table I order.
+func AllPolicies() []PolicyKind {
+	return []PolicyKind{
+		PolicyBaseline,
+		PolicyStatusSharing,
+		PolicyIntentSharing,
+		PolicyAgreementSeeking,
+		PolicyPrescriptive,
+		PolicyCoordinated,
+		PolicyChoreographed,
+		PolicyOrchestrated,
+	}
+}
+
+// Result is what a rig run returns.
+type Result struct {
+	Report metrics.Report
+	Log    *sim.EventLog
+}
+
+// probeFor builds the standard metrics probe of a constituent.
+func probeFor(c *core.Constituent, w *world.World) metrics.Probe {
+	return metrics.Probe{
+		ID:        c.ID(),
+		Footprint: c.Body().Footprint,
+		Mode:      func() string { return c.Mode().String() },
+		Stopped:   c.Body().Stopped,
+		StopRisk:  func() float64 { return w.StopRiskAt(c.Body().Position()) },
+		InActiveLane: func() bool {
+			for _, z := range w.ZoneAt(c.Body().Position()) {
+				if z.Kind == world.ZoneLane || z.Kind == world.ZoneTunnel {
+					return true
+				}
+			}
+			return false
+		},
+	}
+}
+
+// runFor drives an engine for the horizon and packages the result.
+func runFor(e *sim.Engine, col *metrics.Collector, horizon time.Duration) Result {
+	e.RunFor(horizon)
+	return Result{Report: col.Report(), Log: e.Env().Log}
+}

@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"coopmrm/internal/geom"
+)
+
+// Replay reconstructs per-subject timelines from recorded samples and
+// answers position/speed queries at arbitrary times — the offline
+// counterpart of a live run, used for regression goldens and
+// post-hoc analysis of MRM trajectories.
+type Replay struct {
+	bySubject map[string][]Sample
+	subjects  []string
+	start     time.Duration
+	end       time.Duration
+}
+
+// NewReplay indexes the samples (from Recorder.Samples or a parsed
+// CSV). Samples are sorted per subject by time.
+func NewReplay(samples []Sample) *Replay {
+	r := &Replay{bySubject: make(map[string][]Sample)}
+	for _, s := range samples {
+		if _, ok := r.bySubject[s.Subject]; !ok {
+			r.subjects = append(r.subjects, s.Subject)
+		}
+		r.bySubject[s.Subject] = append(r.bySubject[s.Subject], s)
+	}
+	sort.Strings(r.subjects)
+	first := true
+	for _, ss := range r.bySubject {
+		sort.Slice(ss, func(i, j int) bool { return ss[i].Time < ss[j].Time })
+		if len(ss) == 0 {
+			continue
+		}
+		if first {
+			r.start, r.end = ss[0].Time, ss[len(ss)-1].Time
+			first = false
+			continue
+		}
+		if ss[0].Time < r.start {
+			r.start = ss[0].Time
+		}
+		if t := ss[len(ss)-1].Time; t > r.end {
+			r.end = t
+		}
+	}
+	return r
+}
+
+// Subjects returns the recorded subject IDs, sorted.
+func (r *Replay) Subjects() []string {
+	out := make([]string, len(r.subjects))
+	copy(out, r.subjects)
+	return out
+}
+
+// Span returns the time range covered by the recording.
+func (r *Replay) Span() (start, end time.Duration) { return r.start, r.end }
+
+// At returns the interpolated position and speed of a subject at time
+// t (clamped to the subject's recorded span). ok is false for unknown
+// subjects or empty recordings.
+func (r *Replay) At(subject string, t time.Duration) (pos geom.Vec2, speed float64, ok bool) {
+	ss := r.bySubject[subject]
+	if len(ss) == 0 {
+		return geom.Vec2{}, 0, false
+	}
+	if t <= ss[0].Time {
+		return ss[0].Pos, ss[0].Speed, true
+	}
+	if t >= ss[len(ss)-1].Time {
+		last := ss[len(ss)-1]
+		return last.Pos, last.Speed, true
+	}
+	// Binary search for the surrounding pair.
+	i := sort.Search(len(ss), func(k int) bool { return ss[k].Time >= t })
+	a, b := ss[i-1], ss[i]
+	span := b.Time - a.Time
+	if span <= 0 {
+		return b.Pos, b.Speed, true
+	}
+	frac := float64(t-a.Time) / float64(span)
+	return a.Pos.Lerp(b.Pos, frac), a.Speed + (b.Speed-a.Speed)*frac, true
+}
+
+// ModeAt returns the recorded mode of a subject at time t (the mode
+// of the latest sample at or before t).
+func (r *Replay) ModeAt(subject string, t time.Duration) (string, bool) {
+	ss := r.bySubject[subject]
+	if len(ss) == 0 {
+		return "", false
+	}
+	i := sort.Search(len(ss), func(k int) bool { return ss[k].Time > t })
+	if i == 0 {
+		return ss[0].Mode, true
+	}
+	return ss[i-1].Mode, true
+}
+
+// DistanceTravelled integrates the recorded polyline of a subject.
+func (r *Replay) DistanceTravelled(subject string) (float64, error) {
+	ss := r.bySubject[subject]
+	if len(ss) == 0 {
+		return 0, fmt.Errorf("trace: unknown subject %q", subject)
+	}
+	total := 0.0
+	for i := 1; i < len(ss); i++ {
+		total += ss[i].Pos.Dist(ss[i-1].Pos)
+	}
+	return total, nil
+}
+
+// ClosestApproach returns the minimum recorded distance between two
+// subjects over the common sampled times, comparing sample-by-sample
+// at each subject-a timestamp.
+func (r *Replay) ClosestApproach(a, b string) (float64, time.Duration, error) {
+	sa := r.bySubject[a]
+	if len(sa) == 0 {
+		return 0, 0, fmt.Errorf("trace: unknown subject %q", a)
+	}
+	if len(r.bySubject[b]) == 0 {
+		return 0, 0, fmt.Errorf("trace: unknown subject %q", b)
+	}
+	best := -1.0
+	var at time.Duration
+	for _, s := range sa {
+		pb, _, ok := r.At(b, s.Time)
+		if !ok {
+			continue
+		}
+		d := s.Pos.Dist(pb)
+		if best < 0 || d < best {
+			best = d
+			at = s.Time
+		}
+	}
+	return best, at, nil
+}

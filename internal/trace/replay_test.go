@@ -1,0 +1,180 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"coopmrm/internal/geom"
+	"coopmrm/internal/sim"
+)
+
+func sampleSet() []Sample {
+	return []Sample{
+		// Deliberately unsorted.
+		{Time: 10 * time.Second, Subject: "a", Pos: geom.V(100, 0), Speed: 10, Mode: "nominal"},
+		{Time: 0, Subject: "a", Pos: geom.V(0, 0), Speed: 10, Mode: "nominal"},
+		{Time: 20 * time.Second, Subject: "a", Pos: geom.V(100, 100), Speed: 0, Mode: "mrc"},
+		{Time: 0, Subject: "b", Pos: geom.V(50, 0), Speed: 5, Mode: "nominal"},
+		{Time: 20 * time.Second, Subject: "b", Pos: geom.V(50, 40), Speed: 5, Mode: "nominal"},
+	}
+}
+
+func TestReplayIndexing(t *testing.T) {
+	r := NewReplay(sampleSet())
+	if got := r.Subjects(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("subjects = %v", got)
+	}
+	start, end := r.Span()
+	if start != 0 || end != 20*time.Second {
+		t.Errorf("span = %v..%v", start, end)
+	}
+}
+
+func TestReplayAtInterpolates(t *testing.T) {
+	r := NewReplay(sampleSet())
+	pos, speed, ok := r.At("a", 5*time.Second)
+	if !ok || !pos.ApproxEq(geom.V(50, 0), 1e-9) || speed != 10 {
+		t.Errorf("At(5s) = %v %v %v", pos, speed, ok)
+	}
+	pos, speed, _ = r.At("a", 15*time.Second)
+	if !pos.ApproxEq(geom.V(100, 50), 1e-9) || math.Abs(speed-5) > 1e-9 {
+		t.Errorf("At(15s) = %v %v", pos, speed)
+	}
+	// Clamping.
+	pos, _, _ = r.At("a", time.Hour)
+	if !pos.ApproxEq(geom.V(100, 100), 1e-9) {
+		t.Errorf("clamped end = %v", pos)
+	}
+	pos, _, _ = r.At("a", -time.Second)
+	if !pos.ApproxEq(geom.V(0, 0), 1e-9) {
+		t.Errorf("clamped start = %v", pos)
+	}
+	if _, _, ok := r.At("ghost", 0); ok {
+		t.Error("unknown subject should be !ok")
+	}
+}
+
+func TestReplayModeAt(t *testing.T) {
+	r := NewReplay(sampleSet())
+	if m, _ := r.ModeAt("a", 12*time.Second); m != "nominal" {
+		t.Errorf("mode at 12s = %q", m)
+	}
+	if m, _ := r.ModeAt("a", 20*time.Second); m != "mrc" {
+		t.Errorf("mode at 20s = %q", m)
+	}
+	if _, ok := r.ModeAt("ghost", 0); ok {
+		t.Error("unknown subject should be !ok")
+	}
+}
+
+func TestReplayDistanceTravelled(t *testing.T) {
+	r := NewReplay(sampleSet())
+	d, err := r.DistanceTravelled("a")
+	if err != nil || math.Abs(d-200) > 1e-9 {
+		t.Errorf("distance = %v err %v, want 200", d, err)
+	}
+	if _, err := r.DistanceTravelled("ghost"); err == nil {
+		t.Error("unknown subject should error")
+	}
+}
+
+func TestReplayClosestApproach(t *testing.T) {
+	r := NewReplay(sampleSet())
+	d, at, err := r.ClosestApproach("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a at t=0: (0,0) vs b (50,0) -> 50; t=10: (100,0) vs (50,20) -> ~53.9;
+	// t=20: (100,100) vs (50,40) -> ~78.1. Min is 50 at t=0.
+	if math.Abs(d-50) > 1e-9 || at != 0 {
+		t.Errorf("closest = %v at %v", d, at)
+	}
+	if _, _, err := r.ClosestApproach("a", "ghost"); err == nil {
+		t.Error("unknown subject should error")
+	}
+}
+
+func TestReplayFromRecorder(t *testing.T) {
+	// End-to-end: record a moving source, then replay it.
+	pos := geom.V(0, 0)
+	rec := NewRecorder(time.Second, Source{
+		ID:  "v",
+		Pos: func() geom.Vec2 { return pos },
+	})
+	samples := []Sample{}
+	for i := 0; i <= 10; i++ {
+		samples = append(samples, Sample{
+			Time: time.Duration(i) * time.Second, Subject: "v",
+			Pos: geom.V(float64(i*10), 0),
+		})
+	}
+	_ = rec
+	r := NewReplay(samples)
+	p, _, _ := r.At("v", 4500*time.Millisecond)
+	if !p.ApproxEq(geom.V(45, 0), 1e-9) {
+		t.Errorf("interpolated = %v", p)
+	}
+	d, _ := r.DistanceTravelled("v")
+	if math.Abs(d-100) > 1e-9 {
+		t.Errorf("distance = %v", d)
+	}
+}
+
+// Round trip: record -> WriteCSV -> ReadCSV -> Replay.
+func TestCSVRoundTrip(t *testing.T) {
+	pos := geom.V(0, 0)
+	speed := 0.0
+	rec := NewRecorder(time.Second, Source{
+		ID:    "v1",
+		Pos:   func() geom.Vec2 { return pos },
+		Speed: func() float64 { return speed },
+		Mode:  func() string { return "nominal" },
+	})
+	e := sim.NewEngine(sim.Config{Step: 100 * time.Millisecond})
+	e.AddPostHook(rec.Hook())
+	for i := 0; i < 50; i++ {
+		pos = geom.V(float64(i), float64(2*i))
+		speed = float64(i % 7)
+		e.RunTick()
+	}
+
+	var buf bytes.Buffer
+	if err := rec.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rec.Samples()
+	if len(got) != len(want) {
+		t.Fatalf("round trip lost samples: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Subject != want[i].Subject || got[i].Mode != want[i].Mode {
+			t.Fatalf("sample %d meta differs: %+v vs %+v", i, got[i], want[i])
+		}
+		if !got[i].Pos.ApproxEq(want[i].Pos, 1e-3) ||
+			math.Abs(got[i].Speed-want[i].Speed) > 1e-3 {
+			t.Fatalf("sample %d numeric differs: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+	r := NewReplay(got)
+	if d, _ := r.DistanceTravelled("v1"); d <= 0 {
+		t.Error("replayed distance should be positive")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(bytes.NewBufferString("")); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("a,b\n1,2\n")); err == nil {
+		t.Error("wrong arity should error")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("x,v,notanumber,0,0,m\n")); err == nil {
+		t.Error("bad numbers should error")
+	}
+}

@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"coopmrm/internal/geom"
+	"coopmrm/internal/sim"
+)
+
+func TestRecorderSamplesAtPeriod(t *testing.T) {
+	pos := geom.V(0, 0)
+	r := NewRecorder(time.Second, Source{
+		ID:    "v1",
+		Pos:   func() geom.Vec2 { return pos },
+		Speed: func() float64 { return 5 },
+		Mode:  func() string { return "nominal" },
+	})
+	e := sim.NewEngine(sim.Config{Step: 100 * time.Millisecond})
+	e.AddPostHook(r.Hook())
+	e.RunFor(3 * time.Second)
+	// Samples at t=0,1,2 (strictly below 3s at hook time).
+	if r.Len() != 3 {
+		t.Errorf("samples = %d, want 3", r.Len())
+	}
+	s := r.Samples()[0]
+	if s.Subject != "v1" || s.Speed != 5 || s.Mode != "nominal" {
+		t.Errorf("sample = %+v", s)
+	}
+}
+
+func TestRecorderDefaultPeriod(t *testing.T) {
+	r := NewRecorder(0)
+	if r.period != time.Second {
+		t.Errorf("default period = %v", r.period)
+	}
+}
+
+func TestRecorderCSV(t *testing.T) {
+	r := NewRecorder(time.Second, Source{
+		ID:  "v1",
+		Pos: func() geom.Vec2 { return geom.V(1.5, -2) },
+	})
+	e := sim.NewEngine(sim.Config{Step: time.Second})
+	e.AddPostHook(r.Hook())
+	e.RunFor(2 * time.Second)
+
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "t_seconds,subject,x,y,speed,mode\n") {
+		t.Errorf("header wrong: %q", out)
+	}
+	if !strings.Contains(out, "v1,1.500,-2.000") {
+		t.Errorf("row missing: %q", out)
+	}
+}
+
+func TestWriteEventCSV(t *testing.T) {
+	log := sim.NewEventLog()
+	log.Append(sim.Event{Time: 2 * time.Second, Tick: 20, Kind: sim.EventMRCReached,
+		Subject: "v1", Detail: "reached MRC shoulder"})
+	var buf bytes.Buffer
+	if err := WriteEventCSV(&buf, log); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "mrc.reached,v1,reached MRC shoulder") {
+		t.Errorf("event row missing: %q", out)
+	}
+	if !strings.Contains(out, "2.000,20") {
+		t.Errorf("time/tick missing: %q", out)
+	}
+}

@@ -1,0 +1,31 @@
+package vehicle
+
+import (
+	"testing"
+
+	"coopmrm/internal/geom"
+)
+
+func BenchmarkBodyStep(b *testing.B) {
+	body := NewBody(DefaultSpec(KindTruck), geom.Pose{})
+	p := geom.MustPath(geom.V(0, 0), geom.V(1e6, 0))
+	if err := body.SetPath(p, 20); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body.Step(0.1)
+	}
+}
+
+func BenchmarkFootprintOverlap(b *testing.B) {
+	a := NewBody(DefaultSpec(KindTruck), geom.Pose{Pos: geom.V(0, 0)})
+	c := NewBody(DefaultSpec(KindTruck), geom.Pose{Pos: geom.V(7, 2), Heading: 0.4})
+	fa, fc := a.Footprint(), c.Footprint()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fa.Overlaps(fc)
+	}
+}

@@ -1,0 +1,111 @@
+package world
+
+import (
+	"testing"
+
+	"coopmrm/internal/geom"
+)
+
+// diamond builds a -- m -- b with an alternate a -- alt -- b.
+func diamond() *RouteGraph {
+	g := NewRouteGraph()
+	g.AddNode("a", geom.V(0, 0))
+	g.AddNode("m", geom.V(100, 0))
+	g.AddNode("b", geom.V(200, 0))
+	g.AddNode("alt", geom.V(100, 80))
+	g.MustConnect("a", "m")
+	g.MustConnect("m", "b")
+	g.MustConnect("a", "alt")
+	g.MustConnect("alt", "b")
+	return g
+}
+
+func TestAvoidanceEdges(t *testing.T) {
+	g := diamond()
+	route, err := g.ShortestPathWith("a", "b", Avoidance{})
+	if err != nil || route[1] != "m" {
+		t.Fatalf("nominal route = %v err %v", route, err)
+	}
+	av := Avoidance{Edges: map[[2]string]bool{{"a", "m"}: true}}
+	route, err = g.ShortestPathWith("a", "b", av)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if route[1] != "alt" {
+		t.Errorf("edge-avoided route = %v, want via alt", route)
+	}
+	// Only one direction stored: AvoidsEdge must match both.
+	if !av.AvoidsEdge("m", "a") || !av.AvoidsEdge("a", "m") {
+		t.Error("AvoidsEdge must be symmetric")
+	}
+	if av.AvoidsEdge("m", "b") {
+		t.Error("unrelated edge reported avoided")
+	}
+}
+
+func TestAvoidanceEdgesBlockBothSides(t *testing.T) {
+	g := diamond()
+	av := Avoidance{Edges: map[[2]string]bool{
+		{"a", "m"}:   true,
+		{"a", "alt"}: true,
+	}}
+	if _, err := g.ShortestPathWith("a", "b", av); err == nil {
+		t.Error("both exits avoided: route should not exist")
+	}
+}
+
+func TestAvoidanceNodesAndEdgesCompose(t *testing.T) {
+	g := diamond()
+	av := Avoidance{
+		Nodes: map[string]bool{"m": true},
+		Edges: map[[2]string]bool{{"alt", "b"}: true},
+	}
+	if _, err := g.ShortestPathWith("a", "b", av); err == nil {
+		t.Error("node m avoided and edge alt-b avoided: no route should remain")
+	}
+	// Endpoint exemption still applies to avoided nodes.
+	route, err := g.ShortestPathWith("a", "m", Avoidance{Nodes: map[string]bool{"m": true}})
+	if err != nil || route[len(route)-1] != "m" {
+		t.Errorf("avoided endpoint should be reachable: %v err %v", route, err)
+	}
+}
+
+func TestNearestEdge(t *testing.T) {
+	g := diamond()
+	a, b, d, ok := g.NearestEdge(geom.V(50, 5))
+	if !ok {
+		t.Fatal("edge expected")
+	}
+	if a != "a" || b != "m" || d != 5 {
+		t.Errorf("nearest = %s-%s d=%v, want a-m d=5", a, b, d)
+	}
+	// Near the alternate drift.
+	a, b, _, _ = g.NearestEdge(geom.V(60, 60))
+	if !(a == "a" && b == "alt") {
+		t.Errorf("nearest = %s-%s, want a-alt", a, b)
+	}
+	// Empty graph.
+	if _, _, _, ok := NewRouteGraph().NearestEdge(geom.V(0, 0)); ok {
+		t.Error("empty graph has no edges")
+	}
+}
+
+func TestNearestEdgeEndpointOrder(t *testing.T) {
+	g := diamond()
+	a, b, _, _ := g.NearestEdge(geom.V(100, -3))
+	if a >= b {
+		t.Errorf("endpoints not lexicographic: %s-%s", a, b)
+	}
+}
+
+func TestPathBetweenWith(t *testing.T) {
+	g := diamond()
+	p, err := g.PathBetweenWith("a", "b", Avoidance{Edges: map[[2]string]bool{{"a", "m"}: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Via alt: 2 * sqrt(100^2 + 80^2) ~ 256.1 > direct 200.
+	if p.Len() < 250 {
+		t.Errorf("avoided path length = %v, want the detour", p.Len())
+	}
+}

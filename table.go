@@ -1,0 +1,151 @@
+package coopmrm
+
+import (
+	"encoding/csv"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Table is one experiment's output: the rows that correspond to a
+// table or figure series in the paper.
+type Table struct {
+	ID     string
+	Title  string
+	Paper  string // which paper artefact this regenerates
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render formats the table as aligned monospaced text.
+func (t Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	if t.Paper != "" {
+		fmt.Fprintf(&b, "reproduces: %s\n", t.Paper)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var row strings.Builder
+		for i, cell := range cells {
+			w := len(cell)
+			if i < len(widths) {
+				w = widths[i]
+			}
+			fmt.Fprintf(&row, "%-*s", w+2, cell)
+		}
+		b.WriteString(strings.TrimRight(row.String(), " "))
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Note)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180 CSV (header row first), ready
+// for external plotting.
+func (t Table) CSV() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	_ = w.Write(t.Header)
+	for _, row := range t.Rows {
+		_ = w.Write(row)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavoured markdown table.
+func (t Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "**%s — %s**", t.ID, t.Title)
+	if t.Paper != "" {
+		fmt.Fprintf(&b, " _(reproduces %s)_", t.Paper)
+	}
+	b.WriteString("\n\n")
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for _, c := range cells {
+			b.WriteString(" " + strings.ReplaceAll(c, "|", "\\|") + " |")
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	b.WriteString("|")
+	for range t.Header {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "\n_%s_\n", t.Note)
+	}
+	return b.String()
+}
+
+// Cell returns the cell at (row, col), or "".
+func (t Table) Cell(row, col int) string {
+	if row < 0 || row >= len(t.Rows) || col < 0 || col >= len(t.Rows[row]) {
+		return ""
+	}
+	return t.Rows[row][col]
+}
+
+// CellFloat parses the cell at (row, col) as a float64 (0 on error).
+func (t Table) CellFloat(row, col int) float64 {
+	v, err := strconv.ParseFloat(strings.TrimSpace(t.Cell(row, col)), 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// FindRow returns the index of the first row whose first cell equals
+// key, or -1.
+func (t Table) FindRow(key string) int {
+	for i, row := range t.Rows {
+		if len(row) > 0 && row[0] == key {
+			return i
+		}
+	}
+	return -1
+}
+
+func f1(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) }
+func f2(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }
+
+func yesno(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
