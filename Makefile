@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test check race vet bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# The CI gate: build, vet, and the full test suite under the race
+# detector (the parallel runner keeps the whole tree concurrency-clean).
+check: build vet race
+
+bench:
+	$(GO) test -bench=. -benchmem .
+	$(GO) test -bench=. -benchmem ./internal/runner ./internal/comm

@@ -9,7 +9,10 @@ package coopmrm
 // The absolute wall-clock numbers measure the simulator, not the
 // authors' vehicles; EXPERIMENTS.md records the reproduced shapes.
 
-import "testing"
+import (
+	"runtime"
+	"testing"
+)
 
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
@@ -82,3 +85,26 @@ func BenchmarkE14Baseline(b *testing.B) { benchExperiment(b, "E14") }
 // BenchmarkE15AutoRecovery regenerates the future-work autonomous
 // recovery evaluation.
 func BenchmarkE15AutoRecovery(b *testing.B) { benchExperiment(b, "E15") }
+
+func benchRunSet(b *testing.B, workers int) {
+	b.Helper()
+	all := append(AllExperiments(), AllAblations()...)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables, err := RunSet(all, Options{Quick: true, Seed: int64(i + 1)}, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) != len(all) {
+			b.Fatalf("tables = %d, want %d", len(tables), len(all))
+		}
+	}
+}
+
+// BenchmarkAllSerial runs the full E1..E15 + A1..A5 index through the
+// worker pool with one worker — the serial baseline.
+func BenchmarkAllSerial(b *testing.B) { benchRunSet(b, 1) }
+
+// BenchmarkAllParallel fans the same index across one worker per CPU;
+// the ratio to BenchmarkAllSerial is the harness speedup.
+func BenchmarkAllParallel(b *testing.B) { benchRunSet(b, runtime.NumCPU()) }

@@ -4,25 +4,34 @@
 // Usage:
 //
 //	experiments [-run E3,E5] [-quick] [-seed 7] [-list]
+//	            [-parallel N] [-seeds 1..32] [-format text|csv|markdown]
+//
+// Jobs fan out across a bounded worker pool (-parallel, default one
+// worker per CPU); output is emitted in index order and is
+// byte-identical to the serial path (-parallel 1) for any worker
+// count. -seeds runs each selected experiment once per seed and
+// aggregates the per-seed tables (numeric cells become mean±sd).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"coopmrm"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	runIDs := fs.String("run", "", "comma-separated experiment/ablation IDs (default: all experiments)")
 	quick := fs.Bool("quick", false, "shrink sweeps and horizons")
@@ -30,13 +39,15 @@ func run(args []string) error {
 	list := fs.Bool("list", false, "list experiments and exit")
 	ablations := fs.Bool("ablations", false, "run the design ablations (A1..A5) instead of the experiments")
 	format := fs.String("format", "text", "output format: text | csv | markdown")
+	parallel := fs.Int("parallel", runtime.NumCPU(), "worker pool size; 1 runs serially, output is identical either way")
+	seeds := fs.String("seeds", "", `seed sweep: "1..32", "3,5,9", or "x8" (derived from -seed); aggregates per-seed tables`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *list {
 		for _, e := range append(coopmrm.AllExperiments(), coopmrm.AllAblations()...) {
-			fmt.Printf("%-4s %-55s reproduces %s\n", e.ID, e.Title, e.Paper)
+			fmt.Fprintf(stdout, "%-4s %-55s reproduces %s\n", e.ID, e.Title, e.Paper)
 		}
 		return nil
 	}
@@ -60,18 +71,46 @@ func run(args []string) error {
 		}
 	}
 
-	opt := coopmrm.Options{Seed: *seed, Quick: *quick}
-	for _, e := range selected {
-		table := e.Run(opt)
+	render := func(table coopmrm.Table) error {
 		switch *format {
 		case "text":
-			fmt.Println(table.Render())
+			fmt.Fprintln(stdout, table.Render())
 		case "csv":
-			fmt.Printf("# %s — %s\n%s\n", table.ID, table.Title, table.CSV())
+			fmt.Fprintf(stdout, "# %s — %s\n%s\n", table.ID, table.Title, table.CSV())
 		case "markdown":
-			fmt.Println(table.Markdown())
+			fmt.Fprintln(stdout, table.Markdown())
 		default:
 			return fmt.Errorf("unknown format %q", *format)
+		}
+		return nil
+	}
+
+	opt := coopmrm.Options{Seed: *seed, Quick: *quick}
+
+	if *seeds != "" {
+		seedList, err := coopmrm.ParseSeedSpec(*seeds, *seed)
+		if err != nil {
+			return err
+		}
+		for _, e := range selected {
+			table, err := coopmrm.SweepSeeds(e, opt, seedList, *parallel)
+			if err != nil {
+				return err
+			}
+			if err := render(table); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	tables, err := coopmrm.RunSet(selected, opt, *parallel)
+	if err != nil {
+		return err
+	}
+	for _, table := range tables {
+		if err := render(table); err != nil {
+			return err
 		}
 	}
 	return nil

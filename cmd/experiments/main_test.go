@@ -1,38 +1,81 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
 
-func TestRunList(t *testing.T) {
-	if err := run([]string{"-list"}); err != nil {
-		t.Fatal(err)
+func output(t *testing.T, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return buf.String()
+}
+
+// The CLI-level determinism guarantee: -parallel 8 is byte-identical
+// to -parallel 1 across experiments, ablations, and output formats.
+func TestParallelOutputByteIdentical(t *testing.T) {
+	for _, tc := range [][]string{
+		{"-quick"},
+		{"-quick", "-ablations"},
+		{"-quick", "-run", "E1,E3,A1", "-format", "csv"},
+		{"-quick", "-run", "E5", "-format", "markdown"},
+	} {
+		serial := output(t, append([]string{"-parallel", "1"}, tc...)...)
+		parallel := output(t, append([]string{"-parallel", "8"}, tc...)...)
+		if serial != parallel {
+			t.Errorf("args %v: parallel output differs from serial", tc)
+		}
+		if len(serial) == 0 {
+			t.Errorf("args %v: no output", tc)
+		}
 	}
 }
 
-func TestRunUnknownID(t *testing.T) {
-	if err := run([]string{"-run", "E99"}); err == nil {
-		t.Error("unknown experiment should error")
+func TestSeedSweepOutput(t *testing.T) {
+	serial := output(t, "-quick", "-run", "E1", "-seeds", "1..4", "-parallel", "1")
+	parallel := output(t, "-quick", "-run", "E1", "-seeds", "1..4", "-parallel", "4")
+	if serial != parallel {
+		t.Error("seed sweep differs between worker counts")
+	}
+	if !strings.Contains(serial, "aggregated over 4 seeds") {
+		t.Errorf("sweep note missing:\n%s", serial)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	out := output(t, "-list")
+	for _, id := range []string{"E1", "E15", "A1", "A5"} {
+		if !strings.Contains(out, id+" ") {
+			t.Errorf("-list missing %s", id)
+		}
 	}
 }
 
 func TestRunSingleQuick(t *testing.T) {
-	if err := run([]string{"-run", "E13", "-quick"}); err != nil {
-		t.Fatal(err)
+	if out := output(t, "-run", "E13", "-quick"); !strings.Contains(out, "E13") {
+		t.Errorf("output = %q", out)
 	}
 }
 
 func TestRunAblationByID(t *testing.T) {
-	if err := run([]string{"-run", "A4", "-quick"}); err != nil {
-		t.Fatal(err)
+	if out := output(t, "-run", "A4", "-quick"); !strings.Contains(out, "A4") {
+		t.Errorf("output = %q", out)
 	}
 }
 
-func TestRunFormats(t *testing.T) {
-	for _, f := range []string{"csv", "markdown"} {
-		if err := run([]string{"-run", "E13", "-quick", "-format", f}); err != nil {
-			t.Errorf("format %s: %v", f, err)
-		}
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "E99"}, &buf); err == nil {
+		t.Error("unknown experiment should error")
 	}
-	if err := run([]string{"-run", "E13", "-quick", "-format", "xml"}); err == nil {
+	if err := run([]string{"-run", "E13", "-quick", "-format", "xml"}, &buf); err == nil {
 		t.Error("unknown format should error")
+	}
+	if err := run([]string{"-seeds", "5..1"}, &buf); err == nil {
+		t.Error("bad seed spec should error")
 	}
 }

@@ -105,20 +105,21 @@ func (n *Network) SetLinkDown(a, b string, down bool) {
 
 // Send queues a message for delivery. Broadcast fans out to every
 // registered endpoint except the sender. Returns the assigned Seq.
-// Sending from an unregistered or downed node silently drops (the
-// radio is dead; the sender cannot know).
+// Sending from an unregistered or downed node, or to an unregistered
+// endpoint, silently drops (the radio is dead; the sender cannot
+// know) — but every attempted delivery is accounted in Stats.
 func (n *Network) Send(m Message) int64 {
 	n.seq++
 	m.Seq = n.seq
 	m.SentAt = n.now
-	n.sent++
-	if n.downNode[m.From] {
-		n.dropped++
-		return m.Seq
-	}
 	recipients := n.recipients(m)
+	n.sent += int64(len(recipients))
 	for _, to := range recipients {
-		if n.downNode[to] || n.downLink[[2]string{m.From, to}] {
+		if _, registered := n.inbox[to]; !registered {
+			n.dropped++
+			continue
+		}
+		if n.downNode[m.From] || n.downNode[to] || n.downLink[[2]string{m.From, to}] {
 			n.dropped++
 			continue
 		}
@@ -135,12 +136,16 @@ func (n *Network) Send(m Message) int64 {
 	return m.Seq
 }
 
+// recipients lists the intended delivery attempts of m: the named
+// endpoint for a unicast (even if unregistered — Send accounts it as a
+// drop), or every registered endpoint except the sender for a
+// broadcast.
 func (n *Network) recipients(m Message) []string {
 	if m.To != Broadcast {
-		if _, ok := n.inbox[m.To]; !ok {
-			return nil
-		}
 		return []string{m.To}
+	}
+	if len(n.order) == 0 {
+		return nil
 	}
 	out := make([]string, 0, len(n.order)-1)
 	for _, id := range n.order {
@@ -189,7 +194,10 @@ func (n *Network) Receive(id string) []Message {
 // Pending returns the number of messages in transit.
 func (n *Network) Pending() int { return len(n.inTransit) }
 
-// Stats returns the number of messages sent and dropped so far.
+// Stats returns per-recipient delivery accounting: sent counts every
+// attempted delivery (a broadcast to k recipients counts k), dropped
+// counts the attempts that failed (downed node or link, random loss,
+// unregistered recipient). Invariant: 0 <= dropped <= sent.
 func (n *Network) Stats() (sent, dropped int64) { return n.sent, n.dropped }
 
 // Hook returns a sim pre-step hook that delivers due messages each

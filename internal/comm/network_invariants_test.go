@@ -1,0 +1,147 @@
+package comm
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"coopmrm/internal/sim"
+)
+
+// Regression: broadcasting on a network with zero registered endpoints
+// used to build a slice with negative capacity and panic.
+func TestBroadcastEmptyNetworkNoPanic(t *testing.T) {
+	n := newNet(NetConfig{})
+	n.Send(NewMessage("ghost", Broadcast, TypeStatus, "x", nil))
+	n.Deliver(0)
+	sent, dropped := n.Stats()
+	if sent != 0 || dropped != 0 {
+		t.Errorf("stats = %d sent %d dropped, want 0/0 (no delivery attempts)", sent, dropped)
+	}
+}
+
+// Regression: a broadcast used to count one sent but one dropped per
+// failed recipient, so dropped could exceed sent; and a unicast to an
+// unregistered endpoint vanished without a drop. Accounting is now
+// per attempted delivery.
+func TestStatsPerRecipientAccounting(t *testing.T) {
+	n := newNet(NetConfig{})
+	for _, id := range []string{"a", "b", "c", "d"} {
+		n.MustRegister(id)
+	}
+	n.SetNodeDown("c", true)
+	n.SetNodeDown("d", true)
+	n.Send(NewMessage("a", Broadcast, TypeStatus, "x", nil))
+	sent, dropped := n.Stats()
+	if sent != 3 || dropped != 2 {
+		t.Errorf("broadcast stats = %d sent %d dropped, want 3/2", sent, dropped)
+	}
+
+	n.Send(NewMessage("a", "ghost", TypeStatus, "x", nil))
+	sent, dropped = n.Stats()
+	if sent != 4 || dropped != 3 {
+		t.Errorf("unregistered unicast must count as a drop: %d sent %d dropped, want 4/3", sent, dropped)
+	}
+
+	// Downed sender: every attempted recipient is a drop.
+	n.Send(NewMessage("c", Broadcast, TypeStatus, "x", nil))
+	sent, dropped = n.Stats()
+	if sent != 7 || dropped != 6 {
+		t.Errorf("downed-sender broadcast: %d sent %d dropped, want 7/6", sent, dropped)
+	}
+}
+
+// The invariant dropped <= sent must hold under any mix of loss,
+// partitions, downed nodes, broadcasts, and bogus addressing.
+func TestStatsInvariantUnderRandomCampaign(t *testing.T) {
+	rng := sim.NewRNG(99)
+	n := NewNetwork(NetConfig{Latency: 10 * time.Millisecond, Jitter: 20 * time.Millisecond, LossProb: 0.3}, rng)
+	ids := []string{"a", "b", "c", "d", "e"}
+	for _, id := range ids {
+		n.MustRegister(id)
+	}
+	for i := 0; i < 2000; i++ {
+		switch rng.Intn(6) {
+		case 0:
+			n.SetNodeDown(ids[rng.Intn(len(ids))], rng.Bool(0.5))
+		case 1:
+			n.SetLinkDown(ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))], rng.Bool(0.5))
+		case 2:
+			n.Send(NewMessage(ids[rng.Intn(len(ids))], Broadcast, TypeStatus, "x", nil))
+		case 3:
+			n.Send(NewMessage(ids[rng.Intn(len(ids))], "ghost", TypeStatus, "x", nil))
+		default:
+			n.Send(NewMessage(ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))], TypeStatus, "x", nil))
+		}
+		sent, dropped := n.Stats()
+		if dropped > sent || dropped < 0 {
+			t.Fatalf("step %d: invariant violated: %d dropped > %d sent", i, dropped, sent)
+		}
+	}
+	n.Deliver(time.Hour)
+	sent, dropped := n.Stats()
+	delivered := 0
+	for _, id := range ids {
+		delivered += len(n.Receive(id))
+	}
+	if int64(delivered)+dropped != sent {
+		t.Errorf("conservation: delivered %d + dropped %d != sent %d", delivered, dropped, sent)
+	}
+}
+
+// Ordering property under jitter: delivering tick by tick must yield
+// exactly the same per-recipient message streams as one big Deliver at
+// the horizon — each batch is the due prefix of the same global
+// (deliverAt, Seq, recipient) order.
+func TestDeliverOrderIncrementalMatchesOneShot(t *testing.T) {
+	build := func() *Network {
+		n := NewNetwork(NetConfig{Latency: 40 * time.Millisecond, Jitter: 300 * time.Millisecond},
+			sim.NewRNG(1234))
+		for _, id := range []string{"a", "b", "c"} {
+			n.MustRegister(id)
+		}
+		for i := 0; i < 200; i++ {
+			from := []string{"a", "b", "c"}[i%3]
+			to := Broadcast
+			if i%4 == 0 {
+				to = []string{"a", "b", "c"}[(i+1)%3]
+			}
+			n.Send(NewMessage(from, to, TypeStatus, fmt.Sprintf("m%d", i), nil))
+		}
+		return n
+	}
+
+	const horizon = time.Second
+	oneShot := build()
+	oneShot.Deliver(horizon)
+
+	incremental := build()
+	streams := map[string][]int64{}
+	for now := time.Duration(0); now <= horizon; now += 10 * time.Millisecond {
+		incremental.Deliver(now)
+		for _, id := range []string{"a", "b", "c"} {
+			for _, m := range incremental.Receive(id) {
+				streams[id] = append(streams[id], m.Seq)
+			}
+		}
+	}
+
+	for _, id := range []string{"a", "b", "c"} {
+		want := oneShot.Receive(id)
+		got := streams[id]
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d messages incremental vs %d one-shot", id, len(got), len(want))
+		}
+		if len(want) == 0 {
+			t.Fatalf("%s: property test delivered nothing", id)
+		}
+		for i := range want {
+			if got[i] != want[i].Seq {
+				t.Fatalf("%s: stream diverges at %d: seq %d vs %d", id, i, got[i], want[i].Seq)
+			}
+		}
+	}
+	if incremental.Pending() != 0 || oneShot.Pending() != 0 {
+		t.Error("messages left in transit past the horizon")
+	}
+}

@@ -1,0 +1,133 @@
+// Package runner provides a deterministic bounded worker pool for
+// fanning independent jobs (experiments, ablations, seed sweeps)
+// across CPUs.
+//
+// Determinism contract: results are returned in submission (index)
+// order regardless of completion order, every job receives only its
+// own inputs (the pool never shares state between jobs), and a pool of
+// one worker executes jobs inline in the calling goroutine — so
+// workers=1 is byte-for-byte the serial path.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// PanicError wraps a panic recovered from a job so the pool can report
+// it as an ordinary error instead of crashing the process.
+type PanicError struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: job %d panicked: %v", e.Index, e.Value)
+}
+
+// Workers clamps a requested worker count to [1, n jobs] with a
+// sensible default: requested <= 0 means runtime.NumCPU().
+func Workers(requested, jobs int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if jobs > 0 && w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Map runs fn(ctx, i) for i in [0, n) across at most workers
+// goroutines and returns the results in index order. The first error
+// (by job index, not completion time) is returned and cancels the
+// context passed to jobs that have not started yet; jobs already
+// running are allowed to finish. A panicking job is recovered and
+// reported as a *PanicError. workers <= 1 runs every job inline in the
+// calling goroutine, preserving exact serial semantics.
+func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, ctx.Err()
+	}
+	workers = Workers(workers, n)
+
+	results := make([]T, n)
+	errs := make([]error, n)
+
+	call := func(ctx context.Context, i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				buf := make([]byte, 4096)
+				buf = buf[:runtime.Stack(buf, false)]
+				err = &PanicError{Index: i, Value: r, Stack: buf}
+			}
+		}()
+		results[i], err = fn(ctx, i)
+		return err
+	}
+
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return results, err
+			}
+			if err := call(ctx, i); err != nil {
+				return results, err
+			}
+		}
+		return results, nil
+	}
+
+	// Fan out: a shared index channel bounds concurrency; cancel stops
+	// feeding new indices but lets in-flight jobs drain.
+	poolCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				if err := call(poolCtx, i); err != nil {
+					errs[i] = err
+					cancel()
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case indices <- i:
+		case <-poolCtx.Done():
+			break feed
+		}
+	}
+	close(indices)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
+	return results, nil
+}
+
+// ForEach is Map for jobs with no result value.
+func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	_, err := Map(ctx, workers, n, func(ctx context.Context, i int) (struct{}, error) {
+		return struct{}{}, fn(ctx, i)
+	})
+	return err
+}

@@ -1,0 +1,32 @@
+package runner
+
+import (
+	"context"
+	"runtime"
+	"testing"
+)
+
+// A CPU-bound dummy job: enough work that fan-out matters, little
+// enough that pool overhead is visible.
+func spin(i int) float64 {
+	x := float64(i + 1)
+	for k := 0; k < 20000; k++ {
+		x += 1 / x
+	}
+	return x
+}
+
+func benchMap(b *testing.B, workers int) {
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		_, err := Map(context.Background(), workers, 64, func(_ context.Context, i int) (float64, error) {
+			return spin(i), nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMapSerial(b *testing.B)   { benchMap(b, 1) }
+func BenchmarkMapParallel(b *testing.B) { benchMap(b, runtime.NumCPU()) }

@@ -1,0 +1,217 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersClamp(t *testing.T) {
+	if Workers(4, 100) != 4 {
+		t.Error("explicit count should be kept")
+	}
+	if Workers(8, 3) != 3 {
+		t.Error("workers must not exceed job count")
+	}
+	if got := Workers(0, 100); got < 1 {
+		t.Errorf("default workers = %d", got)
+	}
+	if Workers(-5, 0) < 1 {
+		t.Error("workers must be at least 1")
+	}
+}
+
+// Results must come back in index order no matter which worker
+// finishes first.
+func TestMapOrderedResults(t *testing.T) {
+	const n = 64
+	out, err := Map(context.Background(), 8, n, func(_ context.Context, i int) (string, error) {
+		// Earlier indices sleep longer so completion order is roughly
+		// reversed from submission order.
+		time.Sleep(time.Duration(n-i) * 10 * time.Microsecond)
+		return fmt.Sprintf("job-%d", i), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != n {
+		t.Fatalf("len = %d", len(out))
+	}
+	for i, v := range out {
+		if v != fmt.Sprintf("job-%d", i) {
+			t.Fatalf("out[%d] = %q", i, v)
+		}
+	}
+}
+
+// The pool must never run more than `workers` jobs at once.
+func TestMapBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak int64
+	_, err := Map(context.Background(), workers, 50, func(_ context.Context, i int) (int, error) {
+		cur := atomic.AddInt64(&inFlight, 1)
+		for {
+			p := atomic.LoadInt64(&peak)
+			if cur <= p || atomic.CompareAndSwapInt64(&peak, p, cur) {
+				break
+			}
+		}
+		time.Sleep(200 * time.Microsecond)
+		atomic.AddInt64(&inFlight, -1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := atomic.LoadInt64(&peak); p > workers {
+		t.Errorf("peak concurrency %d > %d workers", p, workers)
+	}
+}
+
+// workers=1 must execute inline, strictly in order, on the calling
+// goroutine — the serial path.
+func TestMapSerialInline(t *testing.T) {
+	var order []int
+	var mu sync.Mutex // not needed serially; guards against regressions
+	out, err := Map(context.Background(), 1, 10, func(_ context.Context, i int) (int, error) {
+		mu.Lock()
+		order = append(order, i)
+		mu.Unlock()
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("serial execution out of order: %v", order)
+		}
+	}
+	if out[7] != 49 {
+		t.Errorf("out[7] = %d", out[7])
+	}
+}
+
+func TestMapPanicRecovery(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, err := Map(context.Background(), workers, 8, func(_ context.Context, i int) (int, error) {
+			if i == 5 {
+				panic("boom")
+			}
+			return i, nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want PanicError", workers, err)
+		}
+		if pe.Index != 5 || pe.Value != "boom" {
+			t.Errorf("workers=%d: PanicError = %+v", workers, pe)
+		}
+		if len(pe.Stack) == 0 {
+			t.Error("panic stack missing")
+		}
+	}
+}
+
+// An error cancels the pool context so unstarted jobs are skipped.
+func TestMapErrorCancelsRemaining(t *testing.T) {
+	sentinel := errors.New("job failed")
+	var started int64
+	_, err := Map(context.Background(), 2, 100, func(ctx context.Context, i int) (int, error) {
+		atomic.AddInt64(&started, 1)
+		if i == 0 {
+			return 0, sentinel
+		}
+		// Later jobs observe cancellation via ctx.
+		select {
+		case <-ctx.Done():
+		case <-time.After(time.Millisecond):
+		}
+		return i, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if s := atomic.LoadInt64(&started); s == 100 {
+		t.Error("error should stop the pool from starting every job")
+	}
+}
+
+func TestMapExternalCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err := Map(ctx, 2, 1000, func(_ context.Context, i int) (int, error) {
+			if atomic.AddInt64(&started, 1) == 10 {
+				cancel()
+			}
+			return i, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Map did not return after cancellation")
+	}
+	if s := atomic.LoadInt64(&started); s == 1000 {
+		t.Error("cancellation should stop the pool early")
+	}
+}
+
+func TestMapZeroJobs(t *testing.T) {
+	out, err := Map(context.Background(), 4, 0, func(_ context.Context, i int) (int, error) {
+		t.Error("no job should run")
+		return 0, nil
+	})
+	if err != nil || len(out) != 0 {
+		t.Errorf("out = %v, err = %v", out, err)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum int64
+	if err := ForEach(context.Background(), 4, 32, func(_ context.Context, i int) error {
+		atomic.AddInt64(&sum, int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 32*31/2 {
+		t.Errorf("sum = %d", sum)
+	}
+	sentinel := errors.New("nope")
+	if err := ForEach(context.Background(), 4, 4, func(_ context.Context, i int) error {
+		return sentinel
+	}); !errors.Is(err, sentinel) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// Identical inputs must produce identical ordered outputs across
+// repeated parallel runs (the pool adds no nondeterminism of its own).
+func TestMapDeterministicAcrossRuns(t *testing.T) {
+	run := func() []int {
+		out, err := Map(context.Background(), 8, 40, func(_ context.Context, i int) (int, error) {
+			return i*7 + 3, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run differs at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package coopmrm
+
+import (
+	"context"
+
+	"coopmrm/internal/runner"
+)
+
+// RunSet runs the given experiments/ablations, fanning across at most
+// parallel workers (parallel <= 0 means one per CPU, 1 means serial),
+// and returns their tables in input order regardless of completion
+// order. Each job receives its own copy of opt and builds its own
+// engine and RNG from Options.Seed, so the output is byte-identical to
+// the serial path for any worker count. A panicking experiment is
+// reported as a *runner.PanicError.
+func RunSet(es []Experiment, opt Options, parallel int) ([]Table, error) {
+	return runner.Map(context.Background(), parallel, len(es), func(_ context.Context, i int) (Table, error) {
+		return es[i].Run(opt), nil
+	})
+}
+
+// WithSeed returns a copy of o using the given seed. Jobs must never
+// share an Options value by pointer; this is the per-job plumbing used
+// by seed sweeps.
+func (o Options) WithSeed(seed int64) Options {
+	o.Seed = seed
+	return o
+}
+
+// DeriveSeed decorrelates a per-job seed from a base seed and a job
+// index using a splitmix64 step, so derived streams never collide with
+// each other or with the base stream itself.
+func DeriveSeed(base int64, job int) int64 {
+	z := uint64(base) + (uint64(job)+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	s := int64(z)
+	if s == 0 { // Options treats 0 as "use default"; avoid it.
+		s = 1
+	}
+	return s
+}

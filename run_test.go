@@ -1,0 +1,47 @@
+package coopmrm
+
+import (
+	"strings"
+	"testing"
+)
+
+// The determinism guarantee of the parallel harness: for every
+// experiment and ablation, fanning across 8 workers renders exactly
+// the same bytes as the serial path.
+func TestRunSetParallelMatchesSerial(t *testing.T) {
+	all := append(AllExperiments(), AllAblations()...)
+	opt := Options{Quick: true, Seed: 1}
+
+	serial, err := RunSet(all, opt, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunSet(all, opt, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(all) || len(parallel) != len(all) {
+		t.Fatalf("lengths: serial %d, parallel %d, want %d", len(serial), len(parallel), len(all))
+	}
+	for i := range all {
+		s, p := serial[i].Render(), parallel[i].Render()
+		if s != p {
+			t.Errorf("%s: parallel output differs from serial:\n--- serial\n%s\n--- parallel\n%s",
+				all[i].ID, s, p)
+		}
+		if !strings.HasPrefix(s, all[i].ID+" — ") {
+			t.Errorf("result %d out of order: got table %q, want %s", i, serial[i].ID, all[i].ID)
+		}
+	}
+}
+
+func TestOptionsWithSeed(t *testing.T) {
+	base := Options{Seed: 1, Quick: true}
+	derived := base.WithSeed(9)
+	if derived.Seed != 9 || !derived.Quick {
+		t.Errorf("derived = %+v", derived)
+	}
+	if base.Seed != 1 {
+		t.Error("WithSeed must not mutate the receiver")
+	}
+}

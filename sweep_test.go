@@ -1,0 +1,96 @@
+package coopmrm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSeedSpec(t *testing.T) {
+	seeds, err := ParseSeedSpec("1..5", 1)
+	if err != nil || len(seeds) != 5 || seeds[0] != 1 || seeds[4] != 5 {
+		t.Errorf("range: %v, %v", seeds, err)
+	}
+	seeds, err = ParseSeedSpec("3, 5 ,9", 1)
+	if err != nil || len(seeds) != 3 || seeds[1] != 5 {
+		t.Errorf("list: %v, %v", seeds, err)
+	}
+	seeds, err = ParseSeedSpec("x4", 7)
+	if err != nil || len(seeds) != 4 {
+		t.Fatalf("derived: %v, %v", seeds, err)
+	}
+	dup := map[int64]bool{7: true} // must not collide with the base either
+	for _, s := range seeds {
+		if dup[s] {
+			t.Errorf("derived seeds collide: %v", seeds)
+		}
+		dup[s] = true
+	}
+	for _, bad := range []string{"", "5..1", "x0", "xq", "a,b", "1...3"} {
+		if _, err := ParseSeedSpec(bad, 1); err == nil {
+			t.Errorf("spec %q should fail", bad)
+		}
+	}
+}
+
+func TestDeriveSeedProperties(t *testing.T) {
+	seen := map[int64]bool{}
+	for job := 0; job < 1000; job++ {
+		s := DeriveSeed(42, job)
+		if s == 0 {
+			t.Fatal("derived seed must never be 0 (Options default sentinel)")
+		}
+		if seen[s] {
+			t.Fatalf("seed collision at job %d", job)
+		}
+		seen[s] = true
+	}
+	if DeriveSeed(1, 0) == DeriveSeed(2, 0) {
+		t.Error("different bases should derive different streams")
+	}
+	if DeriveSeed(1, 3) != DeriveSeed(1, 3) {
+		t.Error("derivation must be deterministic")
+	}
+}
+
+func TestAggregateSeedTables(t *testing.T) {
+	mk := func(speed, state string) Table {
+		tab := Table{ID: "T", Title: "demo", Header: []string{"arm", "speed", "state"}}
+		tab.AddRow("a", speed, state)
+		return tab
+	}
+	agg := AggregateSeedTables([]Table{mk("1.0", "ok"), mk("3.0", "ok"), mk("2.0", "bad")},
+		[]int64{1, 2, 3})
+	if agg.Cell(0, 0) != "a" {
+		t.Errorf("identical cells must be kept verbatim: %q", agg.Cell(0, 0))
+	}
+	if agg.Cell(0, 1) != "2.00±0.82" {
+		t.Errorf("numeric cell = %q, want mean±sd", agg.Cell(0, 1))
+	}
+	if agg.Cell(0, 2) != "varies(2)" {
+		t.Errorf("divergent cell = %q", agg.Cell(0, 2))
+	}
+	if !strings.Contains(agg.Note, "aggregated over 3 seeds (1,2,3)") {
+		t.Errorf("note = %q", agg.Note)
+	}
+}
+
+// A sweep must be reproducible and independent of the worker count.
+func TestSweepSeedsDeterministic(t *testing.T) {
+	e, _ := ExperimentByID("E1")
+	seeds := []int64{1, 2, 3, 4}
+	serial, err := SweepSeeds(e, Options{Quick: true}, seeds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SweepSeeds(e, Options{Quick: true}, seeds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Render() != par.Render() {
+		t.Errorf("sweep differs between 1 and 4 workers:\n%s\nvs\n%s",
+			serial.Render(), par.Render())
+	}
+	if len(serial.Rows) == 0 {
+		t.Error("sweep produced no rows")
+	}
+}
