@@ -1,0 +1,120 @@
+package coopmrm
+
+import (
+	"context"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"coopmrm/internal/artifact"
+	"coopmrm/internal/comm"
+	"coopmrm/internal/fault"
+	"coopmrm/internal/metrics"
+	"coopmrm/internal/runner"
+	"coopmrm/internal/sim"
+)
+
+// Observe records one finished rig run into the Options artifact
+// recorder: the metrics report, the event log, and (when the rig has
+// them) network accounting and injected-fault history. A no-op when no
+// recorder is attached, so experiments call it unconditionally. Any of
+// log, net, inj may be nil.
+func (o Options) Observe(name string, rep metrics.Report, log *sim.EventLog,
+	net *comm.Network, inj *fault.Injector) {
+	if o.Artifacts == nil {
+		return
+	}
+	o.Artifacts.Record(artifact.CaptureRun(name, rep, log, net, inj, nil))
+}
+
+// ExperimentArtifacts couples one experiment's table with the rig runs
+// it recorded and the wall-clock time the job took.
+type ExperimentArtifacts struct {
+	Experiment Experiment
+	Table      Table
+	Runs       []artifact.Run
+	Wall       time.Duration
+}
+
+// RunSetWithArtifacts is RunSet with observability: every job gets its
+// own artifact recorder (never shared between workers, so bundles are
+// byte-identical to the serial path for any worker count) and its
+// wall-clock duration is measured inside the worker.
+func RunSetWithArtifacts(es []Experiment, opt Options, parallel int) ([]ExperimentArtifacts, error) {
+	results, walls, err := runner.MapTimed(context.Background(), parallel, len(es),
+		func(_ context.Context, i int) (ExperimentArtifacts, error) {
+			jobOpt := opt
+			jobOpt.Artifacts = artifact.NewRecorder()
+			table := es[i].Run(jobOpt)
+			return ExperimentArtifacts{
+				Experiment: es[i],
+				Table:      table,
+				Runs:       jobOpt.Artifacts.Runs(),
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i := range results {
+		results[i].Wall = walls[i]
+	}
+	return results, nil
+}
+
+// SweepSeedsWithArtifacts is SweepSeeds with observability: the
+// per-seed jobs record into private recorders, the runs are merged in
+// seed order under a "seed=<s>/" prefix, and the wall time is the sum
+// of the per-seed job times.
+func SweepSeedsWithArtifacts(e Experiment, opt Options, seeds []int64, parallel int) (ExperimentArtifacts, error) {
+	type seedResult struct {
+		table Table
+		runs  []artifact.Run
+	}
+	results, walls, err := runner.MapTimed(context.Background(), parallel, len(seeds),
+		func(_ context.Context, i int) (seedResult, error) {
+			jobOpt := opt.WithSeed(seeds[i])
+			jobOpt.Artifacts = artifact.NewRecorder()
+			table := e.Run(jobOpt)
+			return seedResult{table: table, runs: jobOpt.Artifacts.Runs()}, nil
+		})
+	if err != nil {
+		return ExperimentArtifacts{}, err
+	}
+	out := ExperimentArtifacts{Experiment: e}
+	tables := make([]Table, len(results))
+	for i, r := range results {
+		tables[i] = r.table
+		for _, run := range r.runs {
+			run.Name = "seed=" + strconv.FormatInt(seeds[i], 10) + "/" + run.Name
+			out.Runs = append(out.Runs, run)
+		}
+		out.Wall += walls[i]
+	}
+	out.Table = AggregateSeedTables(tables, seeds)
+	return out, nil
+}
+
+// WriteRunArtifacts writes one artifact bundle per experiment under
+// dir plus the run-level bench.json. The bundles depend only on the
+// experiment outputs (deterministic per seed); bench.json carries the
+// wall-clock accounting and is intentionally not deterministic.
+func WriteRunArtifacts(dir string, results []ExperimentArtifacts, bench artifact.Bench) error {
+	for _, res := range results {
+		b := artifact.Bundle{
+			Table: artifact.Table{
+				ID:     res.Table.ID,
+				Title:  res.Table.Title,
+				Paper:  res.Table.Paper,
+				Note:   res.Table.Note,
+				Header: res.Table.Header,
+				Rows:   res.Table.Rows,
+			},
+			Runs: res.Runs,
+		}
+		if err := artifact.WriteBundle(dir, b); err != nil {
+			return err
+		}
+		bench.Add(res.Table.ID, res.Wall, len(res.Runs), len(res.Table.Rows))
+	}
+	return artifact.WriteBench(filepath.Join(dir, "bench.json"), bench)
+}

@@ -5,12 +5,25 @@
 //
 //	experiments [-run E3,E5] [-quick] [-seed 7] [-list]
 //	            [-parallel N] [-seeds 1..32] [-format text|csv|markdown]
+//	            [-out DIR] [-cpuprofile FILE] [-memprofile FILE] [-exectrace FILE]
 //
 // Jobs fan out across a bounded worker pool (-parallel, default one
 // worker per CPU); output is emitted in index order and is
 // byte-identical to the serial path (-parallel 1) for any worker
 // count. -seeds runs each selected experiment once per seed and
 // aggregates the per-seed tables (numeric cells become mean±sd).
+//
+// -out writes one machine-readable artifact bundle per experiment
+// (table.json, runs.json, events/*.jsonl, trace/*.jsonl — see
+// EXPERIMENTS.md for the schema) plus a run-level bench.json with the
+// wall-clock accounting. Bundle bytes depend only on the selected
+// experiments and seeds, never on -parallel; bench.json is the one
+// intentionally non-deterministic file.
+//
+// The profiling flags wire the standard Go tooling through the runner:
+// -cpuprofile and -memprofile write runtime/pprof profiles (inspect
+// with `go tool pprof`), -exectrace writes a runtime/trace stream
+// (inspect with `go tool trace`).
 package main
 
 import (
@@ -19,9 +32,12 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
 	"strings"
 
 	"coopmrm"
+	"coopmrm/internal/artifact"
 )
 
 func main() {
@@ -41,6 +57,10 @@ func run(args []string, stdout io.Writer) error {
 	format := fs.String("format", "text", "output format: text | csv | markdown")
 	parallel := fs.Int("parallel", runtime.NumCPU(), "worker pool size; 1 runs serially, output is identical either way")
 	seeds := fs.String("seeds", "", `seed sweep: "1..32", "3,5,9", or "x8" (derived from -seed); aggregates per-seed tables`)
+	outDir := fs.String("out", "", "write per-experiment artifact bundles and bench.json under this directory")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit (go tool pprof)")
+	execTrace := fs.String("exectrace", "", "write a runtime execution trace to this file (go tool trace)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,6 +71,12 @@ func run(args []string, stdout io.Writer) error {
 		}
 		return nil
 	}
+
+	stopProfiling, err := startProfiling(*cpuProfile, *memProfile, *execTrace)
+	if err != nil {
+		return err
+	}
+	defer stopProfiling()
 
 	selected := coopmrm.AllExperiments()
 	if *ablations {
@@ -87,11 +113,19 @@ func run(args []string, stdout io.Writer) error {
 
 	opt := coopmrm.Options{Seed: *seed, Quick: *quick}
 
+	var seedList []int64
 	if *seeds != "" {
-		seedList, err := coopmrm.ParseSeedSpec(*seeds, *seed)
+		seedList, err = coopmrm.ParseSeedSpec(*seeds, *seed)
 		if err != nil {
 			return err
 		}
+	}
+
+	if *outDir != "" {
+		return runWithArtifacts(stdout, render, selected, opt, seedList, *parallel, *seed, *outDir)
+	}
+
+	if seedList != nil {
 		for _, e := range selected {
 			table, err := coopmrm.SweepSeeds(e, opt, seedList, *parallel)
 			if err != nil {
@@ -114,4 +148,101 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// runWithArtifacts is the -out path: the same experiment selection and
+// rendering as the plain path, but every job records an artifact
+// bundle and its wall time feeds bench.json.
+func runWithArtifacts(stdout io.Writer, render func(coopmrm.Table) error,
+	selected []coopmrm.Experiment, opt coopmrm.Options,
+	seedList []int64, parallel int, seed int64, outDir string) error {
+	seedCount := 1
+	if seedList != nil {
+		seedCount = len(seedList)
+	}
+	bench := artifact.NewBench(parallel, seed, seedCount, opt.Quick)
+
+	var results []coopmrm.ExperimentArtifacts
+	if seedList != nil {
+		for _, e := range selected {
+			res, err := coopmrm.SweepSeedsWithArtifacts(e, opt, seedList, parallel)
+			if err != nil {
+				return err
+			}
+			results = append(results, res)
+		}
+	} else {
+		var err error
+		results, err = coopmrm.RunSetWithArtifacts(selected, opt, parallel)
+		if err != nil {
+			return err
+		}
+	}
+
+	for _, res := range results {
+		if err := render(res.Table); err != nil {
+			return err
+		}
+	}
+	if err := coopmrm.WriteRunArtifacts(outDir, results, bench); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %d artifact bundle(s) + bench.json under %s\n", len(results), outDir)
+	return nil
+}
+
+// startProfiling enables the requested profilers and returns the
+// matching stop function (safe to call when nothing is enabled).
+func startProfiling(cpuPath, memPath, tracePath string) (func(), error) {
+	var stops []func()
+	stop := func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			stop()
+			return nil, fmt.Errorf("exectrace: %w", err)
+		}
+		if err := rtrace.Start(f); err != nil {
+			f.Close()
+			stop()
+			return nil, fmt.Errorf("exectrace: %w", err)
+		}
+		stops = append(stops, func() {
+			rtrace.Stop()
+			f.Close()
+		})
+	}
+	if memPath != "" {
+		stops = append(stops, func() {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+			}
+		})
+	}
+	return stop, nil
 }

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -64,6 +67,130 @@ func TestRunSingleQuick(t *testing.T) {
 func TestRunAblationByID(t *testing.T) {
 	if out := output(t, "-run", "A4", "-quick"); !strings.Contains(out, "A4") {
 		t.Errorf("output = %q", out)
+	}
+}
+
+// readTree maps relative path -> file bytes for every file under dir.
+func readTree(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	files := map[string]string{}
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		rel, _ := filepath.Rel(dir, path)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		files[rel] = string(data)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files
+}
+
+// The artifact-level determinism guarantee: -out bundles are
+// byte-identical between -parallel 1 and -parallel 8; only bench.json
+// (wall-clock accounting) may differ.
+func TestOutBundlesByteIdenticalAcrossWorkers(t *testing.T) {
+	serialDir := t.TempDir()
+	parallelDir := t.TempDir()
+	output(t, "-quick", "-run", "E1,E2,E6", "-parallel", "1", "-out", serialDir)
+	output(t, "-quick", "-run", "E1,E2,E6", "-parallel", "8", "-out", parallelDir)
+
+	serial := readTree(t, serialDir)
+	parallel := readTree(t, parallelDir)
+	if len(serial) != len(parallel) {
+		t.Fatalf("file sets differ: %d vs %d", len(serial), len(parallel))
+	}
+	bundles := 0
+	for name, content := range serial {
+		if filepath.Base(name) == "bench.json" {
+			continue
+		}
+		bundles++
+		if parallel[name] != content {
+			t.Errorf("%s differs between -parallel 1 and -parallel 8", name)
+		}
+	}
+	if bundles == 0 {
+		t.Fatal("no bundle files written")
+	}
+}
+
+// bench.json must exist, parse, and account for every selected
+// experiment; the seed sweep variant threads the seed count through.
+func TestOutWritesBench(t *testing.T) {
+	dir := t.TempDir()
+	out := output(t, "-quick", "-run", "E6", "-seeds", "1..2", "-parallel", "2", "-out", dir)
+	if !strings.Contains(out, "bench.json") {
+		t.Errorf("missing artifact confirmation line:\n%s", out)
+	}
+	var bench struct {
+		Schema      string  `json:"schema"`
+		Parallel    int     `json:"parallel"`
+		Seeds       int     `json:"seeds"`
+		Quick       bool    `json:"quick"`
+		WallSeconds float64 `json:"wall_seconds"`
+		Experiments []struct {
+			ID   string `json:"id"`
+			Runs int    `json:"runs"`
+			Rows int    `json:"rows"`
+		} `json:"experiments"`
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "bench.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &bench); err != nil {
+		t.Fatal(err)
+	}
+	if bench.Schema != "coopmrm/bench/v1" || bench.Parallel != 2 ||
+		bench.Seeds != 2 || !bench.Quick || bench.WallSeconds <= 0 {
+		t.Errorf("bench header wrong: %+v", bench)
+	}
+	if len(bench.Experiments) != 1 || bench.Experiments[0].ID != "E6" ||
+		bench.Experiments[0].Runs != 4 || bench.Experiments[0].Rows == 0 {
+		t.Errorf("bench experiments wrong: %+v", bench.Experiments)
+	}
+	// The sweep prefixes run names with the seed.
+	runs, err := os.ReadFile(filepath.Join(dir, "E6", "runs.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(runs), `"seed=2/policy=baseline"`) {
+		t.Errorf("seed-prefixed run names missing:\n%s", runs)
+	}
+}
+
+// The profiling hooks produce non-empty files that the standard tools
+// recognise (pprof files are gzipped protos, the exec trace has a
+// magic header).
+func TestProfilingFlagsWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	exec := filepath.Join(dir, "exec.trace")
+	output(t, "-quick", "-run", "E1", "-cpuprofile", cpu, "-memprofile", mem, "-exectrace", exec)
+	for _, path := range []string{cpu, mem, exec} {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+	trace, err := os.ReadFile(exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(trace, []byte("go 1.")) {
+		t.Errorf("exec trace header wrong: %q", trace[:min(16, len(trace))])
 	}
 }
 

@@ -39,6 +39,7 @@ func RunE6(opt Options) Table {
 		victim.ApplyFault(fault.Fault{ID: "blind", Target: victim.ID(),
 			Kind: fault.KindSensor, Severity: 1, Permanent: true})
 		res := rig.Run(horizon)
+		opt.Observe("policy="+p.String(), res.Report, res.Log, rig.Net, rig.Injector)
 
 		blocked := 0
 		rerouted := false

@@ -54,7 +54,7 @@ func RunE2(opt Options) Table {
 			var prodSum, opSum float64
 			globals := 0
 			for _, seed := range seeds {
-				prod, opShare, global := runE2Arm(g, pairs, trucksPerPair, seed, horizon)
+				prod, opShare, global := runE2Arm(opt, g, pairs, trucksPerPair, seed, horizon)
 				prodSum += prod
 				opSum += opShare
 				if global {
@@ -89,7 +89,7 @@ func e2SafetySpec(pairs, trucksPerPair int) safetycase.SystemSpec {
 	return spec
 }
 
-func runE2Arm(g core.Granularity, pairs, trucksPerPair int, seed int64, horizon time.Duration) (prod, opShare float64, global bool) {
+func runE2Arm(opt Options, g core.Granularity, pairs, trucksPerPair int, seed int64, horizon time.Duration) (prod, opShare float64, global bool) {
 	// The campaign: one permanent perception fault on a mid-campaign
 	// truck plus a second on another pair's truck — enough to
 	// differentiate the granularities without (usually) starving all
@@ -109,6 +109,8 @@ func runE2Arm(g core.Granularity, pairs, trucksPerPair int, seed int64, horizon 
 		Faults:      faults,
 	})
 	res := rig.Run(horizon)
+	opt.Observe(fmt.Sprintf("%s/pairs=%d/seed=%d", g, pairs, seed),
+		res.Report, res.Log, rig.Net, rig.Injector)
 	return rig.Delivered() / horizon.Minutes(),
 		res.Report.OperationalShare,
 		rig.Director.GlobalIssued()

@@ -35,20 +35,20 @@ func RunE5(opt Options) Table {
 		if !twoLevel {
 			label = "global_only"
 		}
-		total, afterTrigger, level, allSafe, iv := runE5Arm(opt.Seed, twoLevel, horizon)
+		total, afterTrigger, level, allSafe, iv := runE5Arm(opt, label, twoLevel, horizon)
 		t.AddRow(label, f1(total), f1(afterTrigger),
 			fmt.Sprintf("MRC%d", level), yesno(allSafe), fmt.Sprintf("%d", iv))
 	}
 	return t
 }
 
-func runE5Arm(seed int64, twoLevel bool, horizon time.Duration) (total, afterTrigger float64, level int, allSafe bool, interventions int) {
+func runE5Arm(opt Options, label string, twoLevel bool, horizon time.Duration) (total, afterTrigger float64, level int, allSafe bool, interventions int) {
 	weather := world.MustWeatherSchedule(
 		world.WeatherChange{At: 75 * time.Second, Condition: world.Rain, TemperatureC: 2},
 	)
 	rig, err := scenario.NewHarbour(scenario.HarbourConfig{
 		Forklifts: 3,
-		Seed:      seed,
+		Seed:      opt.Seed,
 		TwoLevel:  twoLevel,
 		Weather:   weather,
 		Faults: []fault.Fault{{
@@ -62,6 +62,7 @@ func runE5Arm(seed int64, twoLevel bool, horizon time.Duration) (total, afterTri
 	rig.Run(75 * time.Second)
 	beforeTrigger := rig.Delivered()
 	res := rig.Run(horizon - 75*time.Second)
+	opt.Observe(label, res.Report, res.Log, nil, rig.Injector)
 
 	total = rig.Delivered()
 	afterTrigger = total - beforeTrigger

@@ -34,14 +34,14 @@ func RunE1(opt Options) Table {
 		if off > 0 {
 			label = fmt.Sprintf("t1+%ds", int(off.Seconds()))
 		}
-		finalMRC, switches, risk, dur := runE1Arm(opt.Seed, off)
+		finalMRC, switches, risk, dur := runE1Arm(opt, label, off)
 		t.AddRow(label, finalMRC, fmt.Sprintf("%d", switches), f2(risk), f1(dur.Seconds()))
 	}
 	return t
 }
 
-func runE1Arm(seed int64, secondaryAfter time.Duration) (finalMRC string, switches int, risk float64, mrmDur time.Duration) {
-	rig, err := scenario.NewHighway(scenario.HighwayConfig{NCars: 1, Seed: seed})
+func runE1Arm(opt Options, label string, secondaryAfter time.Duration) (finalMRC string, switches int, risk float64, mrmDur time.Duration) {
+	rig, err := scenario.NewHighway(scenario.HighwayConfig{NCars: 1, Seed: opt.Seed})
 	if err != nil {
 		panic(err)
 	}
@@ -55,7 +55,8 @@ func runE1Arm(seed int64, secondaryAfter time.Duration) (finalMRC string, switch
 			Severity: 1, Permanent: true, At: 30*time.Second + secondaryAfter,
 		})
 	}
-	rig.Run(8 * time.Minute)
+	res := rig.Run(8 * time.Minute)
+	opt.Observe("secondary="+label, res.Report, res.Log, rig.Net, rig.Injector)
 
 	log := rig.Engine.Env().Log
 	finalMRC = rig.Ego.CurrentMRC().ID

@@ -140,6 +140,7 @@ func RunE14(opt Options) Table {
 			Faults:    append([]fault.Fault(nil), campaign...),
 		})
 		res := rig.Run(horizon)
+		opt.Observe("class="+p.String(), res.Report, res.Log, rig.Net, rig.Injector)
 		delivered := rig.Delivered()
 		if p == scenario.PolicyBaseline {
 			baseline = delivered

@@ -3,6 +3,8 @@ package coopmrm
 import (
 	"fmt"
 	"sort"
+
+	"coopmrm/internal/artifact"
 )
 
 // Options tunes experiment runs.
@@ -11,6 +13,11 @@ type Options struct {
 	Seed int64
 	// Quick shrinks sweeps and horizons for benchmarks and CI.
 	Quick bool
+	// Artifacts, when non-nil, collects machine-readable snapshots of
+	// the rig runs an experiment performs (see Options.Observe). Jobs
+	// must never share a recorder; the parallel harness attaches one
+	// per job.
+	Artifacts *artifact.Recorder
 }
 
 func (o Options) withDefaults() Options {

@@ -1,0 +1,374 @@
+// Package artifact serializes run results into schema-stable,
+// machine-readable artifacts: per-experiment bundles (table, recorded
+// rig runs, event and trace streams as JSON/JSONL) and a run-level
+// bench.json with wall-clock accounting. The paper's claims (Table I
+// capability deltas, the Fig. 2 global-vs-local trade-off) are
+// quantitative, so every experiment run must leave replayable,
+// diffable evidence rather than only human-oriented text tables.
+//
+// Schema stability contract: the JSON field set and field names of
+// every exported type here are locked by golden tests. Additions are
+// allowed (consumers must ignore unknown fields); renames and removals
+// are schema breaks and require bumping the Schema constants.
+//
+// Determinism contract: capturing and writing a bundle consults no
+// wall clock and no map iteration order — for a given seed the bundle
+// bytes are identical whatever the worker count. Wall-clock time
+// appears only in the bench report, which is explicitly not
+// deterministic.
+package artifact
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"coopmrm/internal/comm"
+	"coopmrm/internal/fault"
+	"coopmrm/internal/metrics"
+	"coopmrm/internal/sim"
+	"coopmrm/internal/trace"
+)
+
+// Schema identifiers embedded in every artifact file.
+const (
+	SchemaBundle = "coopmrm/artifact/v1"
+	SchemaBench  = "coopmrm/bench/v1"
+)
+
+// Metrics mirrors metrics.Report with stable JSON names and durations
+// flattened to seconds.
+type Metrics struct {
+	DurationSeconds      float64                       `json:"duration_seconds"`
+	TaskUnits            float64                       `json:"task_units"`
+	Productivity         float64                       `json:"productivity_units_per_min"`
+	Collisions           int                           `json:"collisions"`
+	NearMisses           int                           `json:"near_misses"`
+	MinSeparationM       float64                       `json:"min_separation_m"` // -1: no pair observed
+	Interventions        int                           `json:"interventions"`
+	OperationalShare     float64                       `json:"operational_share"`
+	StoppedInLaneSeconds float64                       `json:"stopped_in_lane_seconds"`
+	RiskExposure         float64                       `json:"risk_exposure_risk_seconds"`
+	ModeShare            map[string]map[string]float64 `json:"mode_share,omitempty"`
+}
+
+// CaptureMetrics converts a metrics report to its wire form.
+func CaptureMetrics(r metrics.Report) Metrics {
+	return Metrics{
+		DurationSeconds:      r.Duration.Seconds(),
+		TaskUnits:            r.TaskUnits,
+		Productivity:         r.Productivity,
+		Collisions:           r.Collisions,
+		NearMisses:           r.NearMisses,
+		MinSeparationM:       r.MinSeparation,
+		Interventions:        r.Interventions,
+		OperationalShare:     r.OperationalShare,
+		StoppedInLaneSeconds: r.StoppedInLane.Seconds(),
+		RiskExposure:         r.RiskExposure,
+		ModeShare:            r.ModeShare,
+	}
+}
+
+// CommStats is the network delivery accounting of one run.
+type CommStats struct {
+	Sent      int64    `json:"sent"`
+	Dropped   int64    `json:"dropped"`
+	Pending   int      `json:"pending"`
+	Endpoints []string `json:"endpoints,omitempty"`
+}
+
+// CaptureComm snapshots a network's accounting (nil-safe).
+func CaptureComm(n *comm.Network) *CommStats {
+	if n == nil {
+		return nil
+	}
+	sent, dropped := n.Stats()
+	return &CommStats{
+		Sent:      sent,
+		Dropped:   dropped,
+		Pending:   n.Pending(),
+		Endpoints: n.Endpoints(),
+	}
+}
+
+// FaultRecord is one injected fault in the wire form.
+type FaultRecord struct {
+	ID             string  `json:"id"`
+	Target         string  `json:"target"`
+	Kind           string  `json:"kind"`
+	Detail         string  `json:"detail,omitempty"`
+	Severity       float64 `json:"severity"`
+	Permanent      bool    `json:"permanent"`
+	AtSeconds      float64 `json:"at_seconds"`
+	ClearAtSeconds float64 `json:"clear_at_seconds,omitempty"`
+}
+
+// CaptureFaults snapshots an injector's applied-fault history
+// (nil-safe).
+func CaptureFaults(in *fault.Injector) []FaultRecord {
+	if in == nil {
+		return nil
+	}
+	applied := in.Applied()
+	out := make([]FaultRecord, 0, len(applied))
+	for _, f := range applied {
+		rec := FaultRecord{
+			ID:        f.ID,
+			Target:    f.Target,
+			Kind:      f.Kind.String(),
+			Detail:    f.Detail,
+			Severity:  f.Severity,
+			Permanent: f.Permanent,
+			AtSeconds: f.At.Seconds(),
+		}
+		if !f.Permanent {
+			rec.ClearAtSeconds = f.ClearAt.Seconds()
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// Run is one recorded rig run inside an experiment. The event and
+// trace streams are carried out-of-line: the run index stores counts
+// and relative file names, the bundle writer emits the JSONL files.
+type Run struct {
+	Name           string         `json:"name"`
+	Metrics        Metrics        `json:"metrics"`
+	Comm           *CommStats     `json:"comm,omitempty"`
+	Faults         []FaultRecord  `json:"faults,omitempty"`
+	EventHistogram map[string]int `json:"event_histogram,omitempty"`
+	EventCount     int            `json:"event_count"`
+	EventsFile     string         `json:"events_file,omitempty"`
+	TraceCount     int            `json:"trace_count,omitempty"`
+	TraceFile      string         `json:"trace_file,omitempty"`
+
+	events  []sim.Event
+	samples []trace.Sample
+}
+
+// CaptureRun snapshots everything observable about one finished rig
+// run. Any of log, net, inj, rec may be nil.
+func CaptureRun(name string, rep metrics.Report, log *sim.EventLog,
+	net *comm.Network, inj *fault.Injector, rec *trace.Recorder) Run {
+	run := Run{
+		Name:    name,
+		Metrics: CaptureMetrics(rep),
+		Comm:    CaptureComm(net),
+		Faults:  CaptureFaults(inj),
+	}
+	if log != nil {
+		run.events = log.Events()
+		run.EventCount = len(run.events)
+		if h := log.KindHistogram(); len(h) > 0 {
+			run.EventHistogram = make(map[string]int, len(h))
+			for k, n := range h {
+				run.EventHistogram[string(k)] = n
+			}
+		}
+	}
+	if rec != nil {
+		run.samples = rec.Samples()
+		run.TraceCount = len(run.samples)
+	}
+	return run
+}
+
+// Events returns the captured event stream.
+func (r Run) Events() []sim.Event { return r.events }
+
+// TraceSamples returns the captured position samples.
+func (r Run) TraceSamples() []trace.Sample { return r.samples }
+
+// Recorder accumulates the runs of one experiment, in record order.
+// One recorder belongs to exactly one experiment job; the parallel
+// harness gives every job its own, so bundles stay deterministic.
+type Recorder struct {
+	runs []Run
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Record appends one run.
+func (r *Recorder) Record(run Run) { r.runs = append(r.runs, run) }
+
+// Runs returns the recorded runs in record order.
+func (r *Recorder) Runs() []Run {
+	out := make([]Run, len(r.runs))
+	copy(out, r.runs)
+	return out
+}
+
+// Table is the machine-readable form of an experiment table.
+type Table struct {
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Paper  string     `json:"paper,omitempty"`
+	Note   string     `json:"note,omitempty"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+}
+
+// Bundle is one experiment's artifact set.
+type Bundle struct {
+	Table Table
+	Runs  []Run
+}
+
+// tableFile is the on-disk form of table.json.
+type tableFile struct {
+	Schema string `json:"schema"`
+	Table  Table  `json:"table"`
+}
+
+// runsFile is the on-disk form of runs.json.
+type runsFile struct {
+	Schema     string `json:"schema"`
+	Experiment string `json:"experiment"`
+	Runs       []Run  `json:"runs"`
+}
+
+// WriteBundle writes the bundle under dir/<table.ID>: table.json, a
+// runs.json index, and one events/trace JSONL file per recorded run
+// that carries a stream. The output bytes depend only on the bundle
+// contents.
+func WriteBundle(dir string, b Bundle) error {
+	if b.Table.ID == "" {
+		return fmt.Errorf("artifact: bundle has no table ID")
+	}
+	base := filepath.Join(dir, b.Table.ID)
+	if err := os.MkdirAll(base, 0o755); err != nil {
+		return fmt.Errorf("artifact: %w", err)
+	}
+	if err := writeJSONFile(filepath.Join(base, "table.json"),
+		tableFile{Schema: SchemaBundle, Table: b.Table}); err != nil {
+		return err
+	}
+	runs := make([]Run, len(b.Runs))
+	copy(runs, b.Runs)
+	for i := range runs {
+		if runs[i].EventCount > 0 {
+			runs[i].EventsFile = fmt.Sprintf("events/%03d-%s.jsonl", i, slug(runs[i].Name))
+			if err := writeEventsFile(filepath.Join(base, runs[i].EventsFile), runs[i].events); err != nil {
+				return err
+			}
+		}
+		if runs[i].TraceCount > 0 {
+			runs[i].TraceFile = fmt.Sprintf("trace/%03d-%s.jsonl", i, slug(runs[i].Name))
+			if err := writeTraceFile(filepath.Join(base, runs[i].TraceFile), runs[i].samples); err != nil {
+				return err
+			}
+		}
+	}
+	return writeJSONFile(filepath.Join(base, "runs.json"),
+		runsFile{Schema: SchemaBundle, Experiment: b.Table.ID, Runs: runs})
+}
+
+// slug maps a run name to a filesystem-safe fragment.
+func slug(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		default:
+			return '-'
+		}
+	}, name)
+}
+
+func writeJSONFile(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("artifact: marshal %s: %w", filepath.Base(path), err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("artifact: %w", err)
+	}
+	return nil
+}
+
+func writeEventsFile(path string, events []sim.Event) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("artifact: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("artifact: %w", err)
+	}
+	log := sim.NewEventLog()
+	for _, e := range events {
+		log.Append(e)
+	}
+	if err := log.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("artifact: %w", err)
+	}
+	return f.Close()
+}
+
+func writeTraceFile(path string, samples []trace.Sample) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("artifact: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("artifact: %w", err)
+	}
+	if err := trace.WriteJSONL(f, samples); err != nil {
+		f.Close()
+		return fmt.Errorf("artifact: %w", err)
+	}
+	return f.Close()
+}
+
+// BenchExperiment is one experiment's timing entry in the bench
+// report.
+type BenchExperiment struct {
+	ID          string  `json:"id"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Runs        int     `json:"runs"`
+	Rows        int     `json:"rows"`
+}
+
+// Bench is the run-level bench.json: wall-clock per experiment plus
+// the harness configuration that produced it. Unlike bundles it is
+// *not* byte-stable across runs — wall time is the payload.
+type Bench struct {
+	Schema      string            `json:"schema"`
+	Parallel    int               `json:"parallel"`
+	Seed        int64             `json:"seed"`
+	Seeds       int               `json:"seeds"`
+	Quick       bool              `json:"quick"`
+	WallSeconds float64           `json:"wall_seconds"`
+	Experiments []BenchExperiment `json:"experiments"`
+}
+
+// NewBench returns a bench report with the schema stamped.
+func NewBench(parallel int, seed int64, seeds int, quick bool) Bench {
+	if seeds < 1 {
+		seeds = 1
+	}
+	return Bench{Schema: SchemaBench, Parallel: parallel, Seed: seed, Seeds: seeds, Quick: quick}
+}
+
+// Add appends one experiment's timing and accumulates the total.
+func (b *Bench) Add(id string, wall time.Duration, runs, rows int) {
+	b.Experiments = append(b.Experiments, BenchExperiment{
+		ID:          id,
+		WallSeconds: wall.Seconds(),
+		Runs:        runs,
+		Rows:        rows,
+	})
+	b.WallSeconds += wall.Seconds()
+}
+
+// WriteBench writes the bench report to path.
+func WriteBench(path string, b Bench) error {
+	return writeJSONFile(path, b)
+}

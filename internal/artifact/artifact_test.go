@@ -1,0 +1,290 @@
+package artifact
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"coopmrm/internal/comm"
+	"coopmrm/internal/fault"
+	"coopmrm/internal/geom"
+	"coopmrm/internal/metrics"
+	"coopmrm/internal/sim"
+	"coopmrm/internal/trace"
+)
+
+// fixedRun builds a fully-populated Run from fixed inputs, exercising
+// every capture path (metrics, comm, faults, events, trace).
+func fixedRun(t *testing.T) Run {
+	t.Helper()
+	rep := metrics.Report{
+		Duration:         90 * time.Second,
+		TaskUnits:        12,
+		Productivity:     8,
+		Collisions:       1,
+		NearMisses:       2,
+		MinSeparation:    0.25,
+		Interventions:    1,
+		OperationalShare: 0.75,
+		StoppedInLane:    9 * time.Second,
+		RiskExposure:     3.5,
+		ModeShare: map[string]map[string]float64{
+			"truck1": {"nominal": 0.75, "mrm": 0.05, "mrc": 0.2},
+		},
+	}
+
+	net := comm.NewNetwork(comm.NetConfig{}, sim.NewRNG(1))
+	net.MustRegister("truck1")
+	net.MustRegister("digger1")
+	net.Send(comm.NewMessage("truck1", "digger1", comm.TypeStatus, "pose", nil))
+	net.Send(comm.NewMessage("truck1", "ghost", comm.TypeStatus, "pose", nil))
+	net.Deliver(time.Second)
+
+	inj := fault.NewInjector(nil)
+	if err := inj.Schedule(
+		fault.Fault{ID: "radar", Target: "truck1", Kind: fault.KindSensor,
+			Severity: 1, Permanent: true, At: 10 * time.Second},
+		fault.Fault{ID: "rain", Target: "digger1", Kind: fault.KindSensor,
+			Detail: "camera", Severity: 0.5, At: 20 * time.Second, ClearAt: 50 * time.Second},
+	); err != nil {
+		t.Fatal(err)
+	}
+	inj.Step(time.Minute)
+
+	log := sim.NewEventLog()
+	log.Append(sim.Event{Time: 10 * time.Second, Tick: 100,
+		Kind: sim.EventMRMStarted, Subject: "truck1", Detail: "radar loss"})
+	log.Append(sim.Event{Time: 30 * time.Second, Tick: 300,
+		Kind: sim.EventMRCReached, Subject: "truck1"})
+
+	rec := trace.NewRecorder(time.Second, trace.Source{
+		ID:    "truck1",
+		Pos:   func() geom.Vec2 { return geom.V(1.5, -2) },
+		Speed: func() float64 { return 3 },
+		Mode:  func() string { return "mrm" },
+	})
+	e := sim.NewEngine(sim.Config{Step: 500 * time.Millisecond})
+	e.AddPostHook(rec.Hook())
+	e.RunFor(2 * time.Second)
+
+	return CaptureRun("arm/seed=1", rep, log, net, inj, rec)
+}
+
+// The schema lock: bundle bytes for fixed inputs must match these
+// goldens exactly. A diff here is a schema change — if intentional,
+// bump SchemaBundle and update the golden.
+const goldenTable = `{
+  "schema": "coopmrm/artifact/v1",
+  "table": {
+    "id": "E0",
+    "title": "golden",
+    "paper": "Fig. 0",
+    "note": "fixture",
+    "header": [
+      "arm",
+      "value"
+    ],
+    "rows": [
+      [
+        "a",
+        "1.5"
+      ]
+    ]
+  }
+}
+`
+
+const goldenRuns = `{
+  "schema": "coopmrm/artifact/v1",
+  "experiment": "E0",
+  "runs": [
+    {
+      "name": "arm/seed=1",
+      "metrics": {
+        "duration_seconds": 90,
+        "task_units": 12,
+        "productivity_units_per_min": 8,
+        "collisions": 1,
+        "near_misses": 2,
+        "min_separation_m": 0.25,
+        "interventions": 1,
+        "operational_share": 0.75,
+        "stopped_in_lane_seconds": 9,
+        "risk_exposure_risk_seconds": 3.5,
+        "mode_share": {
+          "truck1": {
+            "mrc": 0.2,
+            "mrm": 0.05,
+            "nominal": 0.75
+          }
+        }
+      },
+      "comm": {
+        "sent": 2,
+        "dropped": 1,
+        "pending": 0,
+        "endpoints": [
+          "truck1",
+          "digger1"
+        ]
+      },
+      "faults": [
+        {
+          "id": "radar",
+          "target": "truck1",
+          "kind": "sensor",
+          "severity": 1,
+          "permanent": true,
+          "at_seconds": 10
+        },
+        {
+          "id": "rain",
+          "target": "digger1",
+          "kind": "sensor",
+          "detail": "camera",
+          "severity": 0.5,
+          "permanent": false,
+          "at_seconds": 20,
+          "clear_at_seconds": 50
+        }
+      ],
+      "event_histogram": {
+        "mrc.reached": 1,
+        "mrm.started": 1
+      },
+      "event_count": 2,
+      "events_file": "events/000-arm-seed-1.jsonl",
+      "trace_count": 2,
+      "trace_file": "trace/000-arm-seed-1.jsonl"
+    }
+  ]
+}
+`
+
+const goldenEvents = `{"t":10000000000,"tick":100,"kind":"mrm.started","subject":"truck1","detail":"radar loss"}
+{"t":30000000000,"tick":300,"kind":"mrc.reached","subject":"truck1"}
+`
+
+const goldenTrace = `{"t_seconds":0,"subject":"truck1","x":1.5,"y":-2,"speed":3,"mode":"mrm"}
+{"t_seconds":1,"subject":"truck1","x":1.5,"y":-2,"speed":3,"mode":"mrm"}
+`
+
+func readFile(t *testing.T, path string) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return string(data)
+}
+
+func TestBundleGoldenSchema(t *testing.T) {
+	dir := t.TempDir()
+	b := Bundle{
+		Table: Table{
+			ID: "E0", Title: "golden", Paper: "Fig. 0", Note: "fixture",
+			Header: []string{"arm", "value"},
+			Rows:   [][]string{{"a", "1.5"}},
+		},
+		Runs: []Run{fixedRun(t)},
+	}
+	if err := WriteBundle(dir, b); err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Join(dir, "E0")
+	for _, tc := range []struct{ file, want string }{
+		{"table.json", goldenTable},
+		{"runs.json", goldenRuns},
+		{"events/000-arm-seed-1.jsonl", goldenEvents},
+		{"trace/000-arm-seed-1.jsonl", goldenTrace},
+	} {
+		if got := readFile(t, filepath.Join(base, tc.file)); got != tc.want {
+			t.Errorf("%s schema drift:\n--- got ---\n%s\n--- want ---\n%s", tc.file, got, tc.want)
+		}
+	}
+}
+
+// Writing the same bundle twice must produce identical bytes — the
+// substrate of the serial-vs-parallel byte-identity guarantee.
+func TestBundleDeterministicBytes(t *testing.T) {
+	write := func(dir string) map[string]string {
+		b := Bundle{
+			Table: Table{ID: "E0", Title: "x", Header: []string{"k"}, Rows: [][]string{{"v"}}},
+			Runs:  []Run{fixedRun(t)},
+		}
+		if err := WriteBundle(dir, b); err != nil {
+			t.Fatal(err)
+		}
+		files := map[string]string{}
+		root := filepath.Join(dir, "E0")
+		err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+			if err != nil || info.IsDir() {
+				return err
+			}
+			rel, _ := filepath.Rel(root, path)
+			files[rel] = readFile(t, path)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return files
+	}
+	a := write(t.TempDir())
+	b := write(t.TempDir())
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("file sets differ: %d vs %d", len(a), len(b))
+	}
+	for name, content := range a {
+		if b[name] != content {
+			t.Errorf("%s differs between identical writes", name)
+		}
+	}
+}
+
+func TestBundleRequiresTableID(t *testing.T) {
+	if err := WriteBundle(t.TempDir(), Bundle{}); err == nil {
+		t.Error("bundle without table ID should error")
+	}
+}
+
+func TestCaptureNilSafety(t *testing.T) {
+	run := CaptureRun("bare", metrics.Report{}, nil, nil, nil, nil)
+	if run.Comm != nil || run.Faults != nil || run.EventCount != 0 || run.TraceCount != 0 {
+		t.Errorf("nil captures leaked: %+v", run)
+	}
+	if CaptureComm(nil) != nil || CaptureFaults(nil) != nil {
+		t.Error("nil-safe captures wrong")
+	}
+}
+
+func TestBenchReport(t *testing.T) {
+	b := NewBench(4, 1, 1, true)
+	b.Add("E1", 1500*time.Millisecond, 2, 3)
+	b.Add("E2", 500*time.Millisecond, 1, 9)
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := WriteBench(path, b); err != nil {
+		t.Fatal(err)
+	}
+	got := readFile(t, path)
+	for _, want := range []string{
+		`"schema": "coopmrm/bench/v1"`,
+		`"parallel": 4`,
+		`"wall_seconds": 2`,
+		`"id": "E1"`,
+		`"runs": 2`,
+		`"rows": 9`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("bench.json missing %s:\n%s", want, got)
+		}
+	}
+}
+
+func TestSlug(t *testing.T) {
+	if got := slug("global/pairs=3 seed:1"); got != "global-pairs-3-seed-1" {
+		t.Errorf("slug = %q", got)
+	}
+}

@@ -25,6 +25,7 @@ type Network struct {
 	rng       *sim.RNG
 	seq       int64
 	now       time.Duration
+	nowFn     func() time.Duration
 	inTransit []envelope
 	inbox     map[string][]Message
 	order     []string
@@ -109,9 +110,10 @@ func (n *Network) SetLinkDown(a, b string, down bool) {
 // endpoint, silently drops (the radio is dead; the sender cannot
 // know) — but every attempted delivery is accounted in Stats.
 func (n *Network) Send(m Message) int64 {
+	now := n.Now()
 	n.seq++
 	m.Seq = n.seq
-	m.SentAt = n.now
+	m.SentAt = now
 	recipients := n.recipients(m)
 	n.sent += int64(len(recipients))
 	for _, to := range recipients {
@@ -131,10 +133,31 @@ func (n *Network) Send(m Message) int64 {
 		if n.cfg.Jitter > 0 {
 			delay += time.Duration(n.rng.Range(0, float64(n.cfg.Jitter)))
 		}
-		n.inTransit = append(n.inTransit, envelope{msg: m, to: to, deliverAt: n.now + delay})
+		n.inTransit = append(n.inTransit, envelope{msg: m, to: to, deliverAt: now + delay})
 	}
 	return m.Seq
 }
+
+// Now returns the network's view of the current time: the attached
+// clock when one is wired (via AttachClock or the first Hook tick),
+// otherwise the time of the last Deliver. Send stamps SentAt and
+// schedules delivery from this caller-visible clock, so a message sent
+// after the tick's Deliver (or between engine runs) is not stamped
+// with a stale timestamp. The result never runs backwards: it is
+// clamped to the last Deliver time so in-transit ordering stays
+// consistent.
+func (n *Network) Now() time.Duration {
+	if n.nowFn != nil {
+		if t := n.nowFn(); t > n.now {
+			return t
+		}
+	}
+	return n.now
+}
+
+// AttachClock wires the caller-visible clock used to stamp sends.
+// Network.Hook attaches the engine clock automatically.
+func (n *Network) AttachClock(now func() time.Duration) { n.nowFn = now }
 
 // recipients lists the intended delivery attempts of m: the named
 // endpoint for a unicast (even if unregistered — Send accounts it as a
@@ -201,7 +224,13 @@ func (n *Network) Pending() int { return len(n.inTransit) }
 func (n *Network) Stats() (sent, dropped int64) { return n.sent, n.dropped }
 
 // Hook returns a sim pre-step hook that delivers due messages each
-// tick.
+// tick. It also attaches the engine clock so Send stamps messages with
+// the live simulated time instead of the last Deliver time.
 func (n *Network) Hook() sim.Hook {
-	return func(env *sim.Env) { n.Deliver(env.Clock.Now()) }
+	return func(env *sim.Env) {
+		if n.nowFn == nil {
+			n.AttachClock(env.Clock.Now)
+		}
+		n.Deliver(env.Clock.Now())
+	}
 }

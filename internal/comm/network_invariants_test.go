@@ -2,6 +2,7 @@ package comm
 
 import (
 	"fmt"
+	"sort"
 	"testing"
 	"time"
 
@@ -86,6 +87,76 @@ func TestStatsInvariantUnderRandomCampaign(t *testing.T) {
 	}
 	if int64(delivered)+dropped != sent {
 		t.Errorf("conservation: delivered %d + dropped %d != sent %d", delivered, dropped, sent)
+	}
+}
+
+// Regression: Send used to stamp SentAt (and schedule delivery) from
+// the time of the *last Deliver*, so a message sent after the clock
+// advanced — e.g. between engine runs, or from a hook running before
+// the network's — carried a stale timestamp and could deliver early.
+func TestSendStampsCallerVisibleClock(t *testing.T) {
+	var now time.Duration
+	n := newNet(NetConfig{Latency: 100 * time.Millisecond})
+	n.AttachClock(func() time.Duration { return now })
+	n.MustRegister("a")
+	n.MustRegister("b")
+
+	n.Deliver(0)
+	now = 5 * time.Second // the clock moved on; no Deliver happened yet
+	n.Send(NewMessage("a", "b", TypeStatus, "x", nil))
+
+	// Delivery must be scheduled from the send-time clock, not the
+	// stale Deliver time: nothing is due before 5s + latency.
+	n.Deliver(5 * time.Second)
+	if got := n.Receive("b"); len(got) != 0 {
+		t.Fatalf("message delivered %v early (SentAt %v)", got, got[0].SentAt)
+	}
+	n.Deliver(5*time.Second + 100*time.Millisecond)
+	got := n.Receive("b")
+	if len(got) != 1 {
+		t.Fatalf("message not delivered: %d", len(got))
+	}
+	if got[0].SentAt != 5*time.Second {
+		t.Errorf("SentAt = %v, want 5s (the caller-visible clock)", got[0].SentAt)
+	}
+}
+
+// SentAt must be monotone in Seq: the network clock never runs
+// backwards, so later sends carry later-or-equal timestamps — even
+// when sends interleave with Deliver calls and clock advances.
+func TestSentAtMonotoneInSeq(t *testing.T) {
+	var now time.Duration
+	rng := sim.NewRNG(7)
+	n := NewNetwork(NetConfig{Latency: 20 * time.Millisecond, Jitter: 80 * time.Millisecond}, rng)
+	n.AttachClock(func() time.Duration { return now })
+	ids := []string{"a", "b", "c"}
+	for _, id := range ids {
+		n.MustRegister(id)
+	}
+	for i := 0; i < 500; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			n.Deliver(now)
+		case 1:
+			now += time.Duration(rng.Intn(150)) * time.Millisecond
+		default:
+			n.Send(NewMessage(ids[rng.Intn(len(ids))], Broadcast, TypeStatus, "x", nil))
+		}
+	}
+	n.Deliver(now + time.Hour)
+	var all []Message
+	for _, id := range ids {
+		all = append(all, n.Receive(id)...)
+	}
+	if len(all) == 0 {
+		t.Fatal("property test delivered nothing")
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Seq < all[j].Seq })
+	for i := 1; i < len(all); i++ {
+		if all[i].SentAt < all[i-1].SentAt {
+			t.Fatalf("SentAt not monotone: seq %d at %v after seq %d at %v",
+				all[i].Seq, all[i].SentAt, all[i-1].Seq, all[i-1].SentAt)
+		}
 	}
 }
 

@@ -8,6 +8,7 @@ package fault
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -73,7 +74,15 @@ type Fault struct {
 	ClearAt   time.Duration // ignored for permanent faults
 }
 
-// Validate reports configuration errors.
+// DefaultClear is the clear delay assumed for self-clearing faults
+// that do not specify one: Schedule defaults ClearAt to At +
+// DefaultClear, and RandomCampaign uses it as the MeanClear fallback.
+const DefaultClear = 30 * time.Second
+
+// Validate reports configuration errors. A non-permanent fault must
+// carry a ClearAt strictly after its onset: with ClearAt left zero it
+// would silently never clear, behaving like a permanent fault without
+// requiring repair (Schedule defaults the field before validating).
 func (f Fault) Validate() error {
 	if f.Target == "" {
 		return fmt.Errorf("fault %q: empty target", f.ID)
@@ -81,8 +90,13 @@ func (f Fault) Validate() error {
 	if f.Severity <= 0 || f.Severity > 1 {
 		return fmt.Errorf("fault %q: severity %v out of (0,1]", f.ID, f.Severity)
 	}
-	if !f.Permanent && f.ClearAt > 0 && f.ClearAt < f.At {
-		return fmt.Errorf("fault %q: clears before onset", f.ID)
+	if !f.Permanent {
+		if f.ClearAt == 0 {
+			return fmt.Errorf("fault %q: non-permanent fault never clears (ClearAt unset)", f.ID)
+		}
+		if f.ClearAt < f.At {
+			return fmt.Errorf("fault %q: clears before onset", f.ID)
+		}
 	}
 	return nil
 }
@@ -117,12 +131,17 @@ func (in *Injector) RegisterHandler(id string, h Handler) {
 	in.handlers[id] = h
 }
 
-// Schedule adds faults to the plan. Returns an error if any fault is
-// invalid.
+// Schedule adds faults to the plan. A non-permanent fault with no
+// ClearAt is defaulted to At + DefaultClear (so it actually clears);
+// any remaining configuration error is returned.
 func (in *Injector) Schedule(faults ...Fault) error {
 	for i, f := range faults {
 		if f.ID == "" {
 			f.ID = fmt.Sprintf("fault-%d-%d", len(in.pending), i)
+			faults[i] = f
+		}
+		if !f.Permanent && f.ClearAt == 0 {
+			f.ClearAt = f.At + DefaultClear
 			faults[i] = f
 		}
 		if err := f.Validate(); err != nil {
@@ -218,21 +237,16 @@ type CampaignConfig struct {
 }
 
 // RandomCampaign draws a deterministic random fault schedule from the
-// RNG. Severity is drawn in [0.5, 1].
+// RNG: each target receives a Poisson(Rate)-distributed number of
+// faults with uniform onsets over the horizon. Severity is drawn in
+// [0.5, 1].
 func RandomCampaign(cfg CampaignConfig, rng *sim.RNG) []Fault {
 	var out []Fault
 	if len(cfg.Kinds) == 0 || cfg.Horizon <= 0 {
 		return out
 	}
 	for _, target := range cfg.Targets {
-		n := 0
-		// Poisson-ish: expected cfg.Rate events via thinning.
-		for i := 0.0; i < cfg.Rate; i++ {
-			p := cfg.Rate - i
-			if p >= 1 || rng.Bool(p) {
-				n++
-			}
-		}
+		n := poisson(cfg.Rate, rng)
 		for i := 0; i < n; i++ {
 			at := time.Duration(rng.Range(0, float64(cfg.Horizon)))
 			f := Fault{
@@ -246,7 +260,7 @@ func RandomCampaign(cfg CampaignConfig, rng *sim.RNG) []Fault {
 			if !f.Permanent {
 				mean := cfg.MeanClear
 				if mean <= 0 {
-					mean = 30 * time.Second
+					mean = DefaultClear
 				}
 				f.ClearAt = at + time.Duration(rng.Range(0.5, 1.5)*float64(mean))
 			}
@@ -255,4 +269,29 @@ func RandomCampaign(cfg CampaignConfig, rng *sim.RNG) []Fault {
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
 	return out
+}
+
+// poisson draws a Poisson-distributed count with the given mean using
+// Knuth's inversion method, consuming only uniforms from the shared
+// deterministic stream. Means large enough to underflow exp(-mean) are
+// split into chunks (Poisson means are additive), so the draw stays
+// exact for any campaign rate.
+func poisson(mean float64, rng *sim.RNG) int {
+	n := 0
+	for mean > 500 {
+		n += poisson(500, rng)
+		mean -= 500
+	}
+	if mean <= 0 {
+		return n
+	}
+	limit := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= limit {
+			return n + k
+		}
+		k++
+	}
 }

@@ -25,21 +25,59 @@ func TestKindString(t *testing.T) {
 }
 
 func TestFaultValidate(t *testing.T) {
-	good := Fault{ID: "f", Target: "v1", Kind: KindSensor, Severity: 1}
-	if err := good.Validate(); err != nil {
-		t.Errorf("good fault invalid: %v", err)
+	good := []Fault{
+		{ID: "perm", Target: "v1", Kind: KindSensor, Severity: 1, Permanent: true},
+		{ID: "transient", Target: "v1", Kind: KindSensor, Severity: 1,
+			At: time.Second, ClearAt: 10 * time.Second},
+	}
+	for _, f := range good {
+		if err := f.Validate(); err != nil {
+			t.Errorf("good fault %q invalid: %v", f.ID, err)
+		}
 	}
 	bad := []Fault{
-		{ID: "no-target", Kind: KindSensor, Severity: 1},
-		{ID: "sev0", Target: "v", Kind: KindSensor, Severity: 0},
-		{ID: "sev2", Target: "v", Kind: KindSensor, Severity: 2},
+		{ID: "no-target", Kind: KindSensor, Severity: 1, Permanent: true},
+		{ID: "sev0", Target: "v", Kind: KindSensor, Severity: 0, Permanent: true},
+		{ID: "sev2", Target: "v", Kind: KindSensor, Severity: 2, Permanent: true},
 		{ID: "clears-early", Target: "v", Kind: KindSensor, Severity: 1,
 			At: 10 * time.Second, ClearAt: 5 * time.Second},
+		// Regression: a non-permanent fault with ClearAt unset used to
+		// pass validation but was never cleared by the injector —
+		// permanent behaviour without requiring repair.
+		{ID: "never-clears", Target: "v", Kind: KindSensor, Severity: 1,
+			At: 10 * time.Second},
 	}
 	for _, f := range bad {
 		if err := f.Validate(); err == nil {
 			t.Errorf("fault %q should be invalid", f.ID)
 		}
+	}
+}
+
+// The companion path to the never-clears rejection: Schedule defaults
+// a missing ClearAt to At + DefaultClear, so the fault actually clears.
+func TestScheduleDefaultsMissingClearAt(t *testing.T) {
+	h := &recHandler{}
+	in := NewInjector(nil)
+	in.RegisterHandler("v1", h)
+	if err := in.Schedule(Fault{ID: "fog", Target: "v1", Kind: KindSensor,
+		Severity: 0.5, At: 2 * time.Second}); err != nil {
+		t.Fatalf("schedule: %v", err)
+	}
+	in.Step(2 * time.Second)
+	if len(h.applied) != 1 {
+		t.Fatal("not applied")
+	}
+	if got := h.applied[0].ClearAt; got != 2*time.Second+DefaultClear {
+		t.Errorf("defaulted ClearAt = %v, want %v", got, 2*time.Second+DefaultClear)
+	}
+	in.Step(2*time.Second + DefaultClear - time.Millisecond)
+	if len(h.cleared) != 0 {
+		t.Error("cleared early")
+	}
+	in.Step(2*time.Second + DefaultClear)
+	if len(h.cleared) != 1 {
+		t.Error("defaulted fault never cleared")
 	}
 }
 
@@ -189,6 +227,65 @@ func TestRandomCampaignDeterministic(t *testing.T) {
 		if !f.Permanent && f.ClearAt <= f.At {
 			t.Error("self-clearing fault without clear time")
 		}
+	}
+}
+
+// The per-target event count must be genuinely Poisson(Rate). The old
+// thinning loop produced floor(Rate) + Bernoulli(frac(Rate)), whose
+// variance is at most 0.25 instead of Rate — seed sweeps understated
+// campaign-to-campaign variability by an order of magnitude.
+func TestRandomCampaignPoissonMoments(t *testing.T) {
+	const rate = 3.0
+	cfg := CampaignConfig{
+		Targets: []string{"only"},
+		Kinds:   []Kind{KindSensor},
+		Rate:    rate,
+		Horizon: 10 * time.Minute,
+	}
+	const trials = 4000
+	var sum, sumSq float64
+	for seed := int64(1); seed <= trials; seed++ {
+		n := float64(len(RandomCampaign(cfg, sim.NewRNG(seed))))
+		sum += n
+		sumSq += n * n
+	}
+	mean := sum / trials
+	variance := sumSq/trials - mean*mean
+	if mean < rate-0.15 || mean > rate+0.15 {
+		t.Errorf("empirical mean = %.3f, want ~%.1f", mean, rate)
+	}
+	// Poisson: variance == mean. The old draw had variance ~0 here.
+	if variance < rate-0.4 || variance > rate+0.4 {
+		t.Errorf("empirical variance = %.3f, want ~%.1f (index of dispersion %.2f)",
+			variance, rate, variance/mean)
+	}
+}
+
+// Fractional rates below one must sometimes produce zero events and
+// sometimes several — the thinning loop could never draw n >= 2.
+func TestRandomCampaignLowRateDispersion(t *testing.T) {
+	cfg := CampaignConfig{
+		Targets: []string{"only"},
+		Kinds:   []Kind{KindSensor},
+		Rate:    0.7,
+		Horizon: 10 * time.Minute,
+	}
+	counts := map[int]int{}
+	for seed := int64(1); seed <= 2000; seed++ {
+		counts[len(RandomCampaign(cfg, sim.NewRNG(seed)))]++
+	}
+	if counts[0] == 0 {
+		t.Error("rate 0.7 never produced an empty campaign")
+	}
+	multi := 0
+	for n, c := range counts {
+		if n >= 2 {
+			multi += c
+		}
+	}
+	// P(N>=2 | mean 0.7) ~ 15.6%; the old draw gave exactly 0.
+	if multi == 0 {
+		t.Error("rate 0.7 never produced 2+ events: not a Poisson draw")
 	}
 }
 

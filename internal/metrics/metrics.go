@@ -125,14 +125,15 @@ func (c *Collector) Sample(env *sim.Env) {
 			c.riskExposure += p.StopRisk() * dt.Seconds()
 		}
 	}
-	// Pairwise proximity over risk-relevant pairs.
+	// Pairwise proximity over risk-relevant pairs. Pairs that are not
+	// currently risk-relevant are skipped but keep their latched
+	// contact/near state: one continuous contact that spans a
+	// risk-relevance transition (e.g. a mode change mid-overlap) must
+	// stay a single edge-triggered event, not re-trigger on re-entry.
 	for i := 0; i < len(c.probes); i++ {
 		for j := i + 1; j < len(c.probes); j++ {
 			a, b := c.probes[i], c.probes[j]
 			if !riskRelevant(a) && !riskRelevant(b) {
-				key := [2]string{a.ID, b.ID}
-				c.inContact[key] = false
-				c.inNear[key] = false
 				continue
 			}
 			d := a.Footprint().Dist(b.Footprint())

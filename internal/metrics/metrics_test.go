@@ -10,9 +10,10 @@ import (
 )
 
 type fakeVehicle struct {
-	pos  geom.Vec2
-	mode string
-	lane bool
+	pos     geom.Vec2
+	mode    string
+	lane    bool
+	stopped bool
 }
 
 func (f *fakeVehicle) probe(id string) Probe {
@@ -24,6 +25,14 @@ func (f *fakeVehicle) probe(id string) Probe {
 		Mode:         func() string { return f.mode },
 		InActiveLane: func() bool { return f.lane },
 	}
+}
+
+// filteredProbe is probe with Stopped wired, so risk-relevance
+// filtering applies to pairs involving this vehicle.
+func (f *fakeVehicle) filteredProbe(id string) Probe {
+	p := f.probe(id)
+	p.Stopped = func() bool { return f.stopped }
+	return p
 }
 
 func env(step time.Duration) *sim.Env {
@@ -84,6 +93,58 @@ func TestCollisionEdgeTriggered(t *testing.T) {
 	}
 }
 
+// Regression: a continuous contact that spans a risk-relevance
+// transition used to be double-counted. The latch was forced to false
+// while the pair was filtered out, so the same unbroken overlap
+// re-triggered a second collision (and near-miss) event on re-entry.
+func TestContactLatchSurvivesRelevanceToggle(t *testing.T) {
+	a := &fakeVehicle{pos: geom.V(0, 0), mode: "mrm"}
+	b := &fakeVehicle{pos: geom.V(3, 0), mode: "nominal"} // overlapping
+	c := NewCollector(a.filteredProbe("a"), b.filteredProbe("b"))
+	ev := env(100 * time.Millisecond)
+
+	c.Sample(ev)
+	if got := c.Report().Collisions; got != 1 {
+		t.Fatalf("collisions = %d, want 1", got)
+	}
+	// The pair toggles out of risk relevance mid-contact...
+	a.mode = "nominal"
+	c.Sample(ev)
+	c.Sample(ev)
+	// ...and back in, with the very same contact still unbroken.
+	a.mode = "mrm"
+	c.Sample(ev)
+	if got := c.Report().Collisions; got != 1 {
+		t.Errorf("collisions = %d, want 1 (one continuous contact)", got)
+	}
+	// A genuinely new contact after separation still counts.
+	b.pos = geom.V(100, 0)
+	c.Sample(ev)
+	b.pos = geom.V(3, 0)
+	c.Sample(ev)
+	if got := c.Report().Collisions; got != 2 {
+		t.Errorf("collisions = %d, want 2 after re-contact", got)
+	}
+}
+
+// Same latch bug for near misses: a continuous sub-threshold approach
+// spanning a relevance toggle is one event, not two.
+func TestNearMissLatchSurvivesRelevanceToggle(t *testing.T) {
+	a := &fakeVehicle{pos: geom.V(0, 0), mode: "mrm"}
+	b := &fakeVehicle{pos: geom.V(4.5, 0), mode: "nominal"} // gap 0.5 < 1.0
+	c := NewCollector(a.filteredProbe("a"), b.filteredProbe("b"))
+	ev := env(100 * time.Millisecond)
+
+	c.Sample(ev)
+	a.mode = "nominal"
+	c.Sample(ev)
+	a.mode = "mrm"
+	c.Sample(ev)
+	if got := c.Report().NearMisses; got != 1 {
+		t.Errorf("near misses = %d, want 1 (one continuous approach)", got)
+	}
+}
+
 func TestNearMissAndMinSeparation(t *testing.T) {
 	a := &fakeVehicle{pos: geom.V(0, 0), mode: "nominal"}
 	b := &fakeVehicle{pos: geom.V(10, 0), mode: "nominal"}
@@ -140,6 +201,88 @@ func TestProductivityAndInterventions(t *testing.T) {
 	}
 	if c.TaskUnits() != 6 {
 		t.Error("TaskUnits accessor wrong")
+	}
+}
+
+// Report invariants: per-constituent mode shares must sum to ~1 over
+// any run with positive duration, whatever the mode trajectory.
+func TestModeSharesSumToOne(t *testing.T) {
+	a := &fakeVehicle{pos: geom.V(0, 0), mode: "nominal"}
+	b := &fakeVehicle{pos: geom.V(100, 0), mode: "nominal"}
+	c := NewCollector(a.probe("a"), b.probe("b"))
+	e := sim.NewEngine(sim.Config{Step: 100 * time.Millisecond})
+	e.AddPostHook(c.Hook())
+	e.RunFor(3 * time.Second)
+	a.mode = "degraded"
+	e.RunFor(2 * time.Second)
+	a.mode = "mrm"
+	b.mode = "mrc"
+	e.RunFor(1500 * time.Millisecond)
+
+	r := c.Report()
+	for id, share := range r.ModeShare {
+		sum := 0.0
+		for _, v := range share {
+			if v < 0 {
+				t.Errorf("%s: negative mode share %v", id, v)
+			}
+			sum += v
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("%s: mode shares sum to %v, want ~1 (%v)", id, sum, share)
+		}
+	}
+	if r.OperationalShare < 0 || r.OperationalShare > 1 {
+		t.Errorf("operational share %v out of [0,1]", r.OperationalShare)
+	}
+}
+
+// RiskExposure is non-negative always, and exactly zero when no MRC
+// time is accrued — even with a StopRisk probe wired.
+func TestRiskExposureZeroWithoutMRC(t *testing.T) {
+	a := &fakeVehicle{pos: geom.V(0, 0), mode: "nominal"}
+	p := a.probe("a")
+	p.StopRisk = func() float64 { return 0.8 }
+	c := NewCollector(p)
+	e := sim.NewEngine(sim.Config{Step: time.Second})
+	e.AddPostHook(c.Hook())
+	e.RunFor(10 * time.Second)
+	if got := c.Report().RiskExposure; got != 0 {
+		t.Errorf("risk exposure = %v without any MRC time, want 0", got)
+	}
+	a.mode = "mrc"
+	e.RunFor(5 * time.Second)
+	r := c.Report()
+	if r.RiskExposure <= 0 {
+		t.Errorf("risk exposure = %v after 5s in MRC at risk 0.8", r.RiskExposure)
+	}
+	if want := 0.8 * 5; r.RiskExposure < want-1e-9 || r.RiskExposure > want+1e-9 {
+		t.Errorf("risk exposure = %v, want %v", r.RiskExposure, want)
+	}
+}
+
+// A zero-duration run must produce a well-defined report: no NaN or
+// Inf shares, zero productivity and operational share.
+func TestZeroDurationRunReport(t *testing.T) {
+	a := &fakeVehicle{pos: geom.V(0, 0), mode: "nominal"}
+	c := NewCollector(a.probe("a"))
+	c.AddTaskUnits(3) // units but no time: rate must stay finite
+	r := c.Report()
+	if r.Duration != 0 {
+		t.Fatalf("duration = %v", r.Duration)
+	}
+	if r.Productivity != 0 {
+		t.Errorf("productivity = %v for zero duration, want 0", r.Productivity)
+	}
+	if r.OperationalShare != 0 {
+		t.Errorf("operational share = %v for zero duration, want 0", r.OperationalShare)
+	}
+	for id, share := range r.ModeShare {
+		for m, v := range share {
+			if v != 0 {
+				t.Errorf("%s/%s share = %v for zero duration", id, m, v)
+			}
+		}
 	}
 }
 

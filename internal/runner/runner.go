@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // PanicError wraps a panic recovered from a job so the pool can report
@@ -122,6 +123,23 @@ feed:
 		return results, err
 	}
 	return results, nil
+}
+
+// MapTimed is Map that additionally reports each job's wall-clock
+// duration, measured inside the worker around fn. Index i of the
+// returned durations corresponds to job i; jobs that never ran (after
+// cancellation) report zero. This is the measurement substrate of the
+// bench artifacts: per-job wall time stays meaningful under any worker
+// count because it excludes queueing.
+func MapTimed[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, []time.Duration, error) {
+	durations := make([]time.Duration, n)
+	results, err := Map(ctx, workers, n, func(ctx context.Context, i int) (T, error) {
+		start := time.Now()
+		v, err := fn(ctx, i)
+		durations[i] = time.Since(start)
+		return v, err
+	})
+	return results, durations, err
 }
 
 // ForEach is Map for jobs with no result value.

@@ -215,3 +215,26 @@ func TestMapDeterministicAcrossRuns(t *testing.T) {
 		}
 	}
 }
+
+// MapTimed returns the same ordered results as Map plus a per-job
+// wall-clock duration measured inside the worker.
+func TestMapTimed(t *testing.T) {
+	out, durs, err := MapTimed(context.Background(), 4, 8, func(_ context.Context, i int) (int, error) {
+		time.Sleep(time.Duration(i%2+1) * time.Millisecond)
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 8 || len(durs) != 8 {
+		t.Fatalf("lengths = %d results, %d durations", len(out), len(durs))
+	}
+	for i := range out {
+		if out[i] != i*i {
+			t.Errorf("result %d = %d", i, out[i])
+		}
+		if durs[i] <= 0 {
+			t.Errorf("duration %d = %v, want > 0", i, durs[i])
+		}
+	}
+}

@@ -231,6 +231,35 @@ func TestEventLogJSONAndSummary(t *testing.T) {
 	}
 }
 
+func TestEventLogJSONRoundTrip(t *testing.T) {
+	l := NewEventLog()
+	l.Append(Event{Time: 2 * time.Second, Tick: 20, Kind: EventMRMStarted,
+		Subject: "v1", Detail: "fault", Fields: map[string]string{"kind": "sensor"}})
+	l.Append(Event{Time: 5 * time.Second, Tick: 50, Kind: EventMRCReached, Subject: "v1"})
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != l.Len() {
+		t.Fatalf("round trip lost events: %d vs %d", got.Len(), l.Len())
+	}
+	for i, e := range got.Events() {
+		want := l.Events()[i]
+		if e.Time != want.Time || e.Tick != want.Tick || e.Kind != want.Kind ||
+			e.Subject != want.Subject || e.Detail != want.Detail ||
+			e.Fields["kind"] != want.Fields["kind"] {
+			t.Errorf("event %d: %+v != %+v", i, e, want)
+		}
+	}
+	if _, err := ReadJSON(strings.NewReader("not json\n")); err == nil {
+		t.Error("garbage should error")
+	}
+}
+
 func TestEnvEmit(t *testing.T) {
 	e := NewEngine(Config{Step: 10 * time.Millisecond})
 	env := e.Env()

@@ -145,6 +145,22 @@ func (l *EventLog) WriteJSON(w io.Writer) error {
 	return nil
 }
 
+// ReadJSON parses a JSON-lines stream written by WriteJSON back into
+// an EventLog, so run artifacts can be replayed and asserted on.
+func ReadJSON(r io.Reader) (*EventLog, error) {
+	log := NewEventLog()
+	dec := json.NewDecoder(r)
+	for {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			return log, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("decode event %d: %w", log.Len(), err)
+		}
+		log.Append(e)
+	}
+}
+
 // Summary renders a compact human-readable histogram of event kinds.
 func (l *EventLog) Summary() string {
 	h := l.KindHistogram()

@@ -4,6 +4,7 @@ package trace
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strconv"
@@ -142,6 +143,56 @@ func ReadCSV(rd io.Reader) ([]Sample, error) {
 			Pos:     geom.Vec2{X: x, Y: y},
 			Speed:   speed,
 			Mode:    rec[5],
+		})
+	}
+	return out, nil
+}
+
+// sampleJSON is the stable JSONL wire form of a Sample.
+type sampleJSON struct {
+	T       float64 `json:"t_seconds"`
+	Subject string  `json:"subject"`
+	X       float64 `json:"x"`
+	Y       float64 `json:"y"`
+	Speed   float64 `json:"speed"`
+	Mode    string  `json:"mode,omitempty"`
+}
+
+// WriteJSONL streams samples as JSON lines (one sample per line), the
+// machine-readable sibling of WriteCSV used by run artifacts.
+func WriteJSONL(w io.Writer, samples []Sample) error {
+	enc := json.NewEncoder(w)
+	for _, s := range samples {
+		rec := sampleJSON{
+			T:       s.Time.Seconds(),
+			Subject: s.Subject,
+			X:       s.Pos.X,
+			Y:       s.Pos.Y,
+			Speed:   s.Speed,
+			Mode:    s.Mode,
+		}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("trace: encode sample: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadJSONL parses samples previously written by WriteJSONL.
+func ReadJSONL(rd io.Reader) ([]Sample, error) {
+	dec := json.NewDecoder(rd)
+	var out []Sample
+	for dec.More() {
+		var rec sampleJSON
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("trace: decode sample %d: %w", len(out), err)
+		}
+		out = append(out, Sample{
+			Time:    time.Duration(rec.T * float64(time.Second)),
+			Subject: rec.Subject,
+			Pos:     geom.Vec2{X: rec.X, Y: rec.Y},
+			Speed:   rec.Speed,
+			Mode:    rec.Mode,
 		})
 	}
 	return out, nil

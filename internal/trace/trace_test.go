@@ -60,6 +60,43 @@ func TestRecorderCSV(t *testing.T) {
 	}
 }
 
+// The JSONL stream round-trips losslessly and carries stable field
+// names (the run-artifact schema).
+func TestJSONLRoundTrip(t *testing.T) {
+	in := []Sample{
+		{Time: 0, Subject: "v1", Pos: geom.V(1.5, -2), Speed: 3, Mode: "nominal"},
+		{Time: 2500 * time.Millisecond, Subject: "v2", Pos: geom.V(0, 7.25), Speed: 0},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(buf.String(), "\n", 2)[0]
+	for _, field := range []string{`"t_seconds":0`, `"subject":"v1"`, `"x":1.5`, `"y":-2`, `"speed":3`, `"mode":"nominal"`} {
+		if !strings.Contains(first, field) {
+			t.Errorf("JSONL line missing %s: %s", field, first)
+		}
+	}
+	out, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip lost samples: %d vs %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("sample %d: %+v != %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader(`{"t_seconds":0}` + "\nnot json\n")); err == nil {
+		t.Error("garbage line should error")
+	}
+}
+
 func TestWriteEventCSV(t *testing.T) {
 	log := sim.NewEventLog()
 	log.Append(sim.Event{Time: 2 * time.Second, Tick: 20, Kind: sim.EventMRCReached,
