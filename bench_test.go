@@ -12,6 +12,11 @@ package coopmrm
 import (
 	"runtime"
 	"testing"
+	"time"
+
+	"coopmrm/internal/fault"
+	"coopmrm/internal/geom"
+	"coopmrm/internal/scenario"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -86,6 +91,52 @@ func BenchmarkE14Baseline(b *testing.B) { benchExperiment(b, "E14") }
 // recovery evaluation.
 func BenchmarkE15AutoRecovery(b *testing.B) { benchExperiment(b, "E15") }
 
+// BenchmarkE16ScaleSweep regenerates the fleet-size scale sweep.
+func BenchmarkE16ScaleSweep(b *testing.B) { benchExperiment(b, "E16") }
+
+// benchProximity measures one metrics.Collector.Sample pass over a
+// 10-pair quarry fleet mid-incident — the per-tick proximity hot path
+// — with either the brute-force O(n²) scorer or the uniform-grid
+// broad-phase. The rig reproduces the E16 baseline arm: a blind truck
+// stranded mid-tunnel with the rest of the fleet queued behind it, so
+// every constituent is stopped in active space and risk-relevant (the
+// regime where proximity scoring actually runs; ticks with no
+// relevant probe skip the pass entirely on both paths). The ratio
+// between the two benchmarks is the index speedup quoted in
+// README.md.
+func benchProximity(b *testing.B, brute bool) {
+	b.Helper()
+	rig, err := scenario.NewQuarry(scenario.QuarryConfig{
+		Pairs: 10, TrucksPerPair: 1,
+		Policy: scenario.PolicyBaseline,
+		Seed:   1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	victim := rig.Trucks[0]
+	victim.Body().Teleport(geom.Pose{Pos: geom.V(150, 0)})
+	victim.ApplyFault(fault.Fault{ID: "blind", Target: victim.ID(),
+		Kind: fault.KindSensor, Severity: 1, Permanent: true})
+	// Let the queue form behind the blockage.
+	rig.Run(90 * time.Second)
+	rig.Collector.UseBruteForce = brute
+	env := rig.Engine.Env()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rig.Collector.Sample(env)
+	}
+}
+
+// BenchmarkProximityBrute10PairQuarry samples every pair (the
+// pre-index behaviour).
+func BenchmarkProximityBrute10PairQuarry(b *testing.B) { benchProximity(b, true) }
+
+// BenchmarkProximityIndexed10PairQuarry samples only broad-phase
+// candidate pairs.
+func BenchmarkProximityIndexed10PairQuarry(b *testing.B) { benchProximity(b, false) }
+
 func benchRunSet(b *testing.B, workers int) {
 	b.Helper()
 	all := append(AllExperiments(), AllAblations()...)
@@ -101,7 +152,7 @@ func benchRunSet(b *testing.B, workers int) {
 	}
 }
 
-// BenchmarkAllSerial runs the full E1..E15 + A1..A5 index through the
+// BenchmarkAllSerial runs the full E1..E16 + A1..A5 index through the
 // worker pool with one worker — the serial baseline.
 func BenchmarkAllSerial(b *testing.B) { benchRunSet(b, 1) }
 

@@ -38,5 +38,5 @@ func ExampleExperimentByID() {
 func ExampleExperimentIDs() {
 	ids := coopmrm.ExperimentIDs()
 	fmt.Println(len(ids), ids[0], ids[len(ids)-1])
-	// Output: 15 E1 E15
+	// Output: 16 E1 E16
 }

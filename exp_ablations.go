@@ -232,6 +232,73 @@ func contains(s, sub string) bool {
 	return false
 }
 
+// RunE16 is the fleet-size scale sweep: the same blocked-haul-road
+// incident (a truck goes blind mid-tunnel and reaches MRC there)
+// against growing quarry deployments, with the individual-AV baseline
+// and status-sharing arms side by side. The taxonomy and
+// infrastructure-assisted ToC literature argue MRM/MRC behaviour must
+// be evaluated on deployments (many constituents), not pairs; the
+// broad-phase proximity index is what makes the 10-pair arm
+// computationally feasible (see bench_test.go for the
+// brute-vs-indexed speedup on this rig).
+//
+// Expected shape: the productivity gap between the cooperative arm
+// and the baseline widens with fleet size — every extra baseline
+// truck queues behind the blockage while status-sharing trucks
+// reroute — and wall clock stays sublinear in pair count versus the
+// brute-force pass (captured in BENCH_quick.json).
+func RunE16(opt Options) Table {
+	opt = opt.withDefaults()
+	t := Table{
+		ID:     "E16",
+		Title:  "fleet-size scale sweep: cooperation payoff per deployment size",
+		Paper:  "scale extension (deployment-level evaluation)",
+		Header: []string{"pairs", "constituents", "base_units_per_min", "coop_units_per_min", "gap_units_per_min", "coop_near_misses"},
+		Note:   "truck1_1 is stranded blind mid-tunnel at t=0 and blocks the haul road; baseline trucks queue, status-sharing trucks reroute via alt",
+	}
+	sizes := []int{2, 4, 6, 8, 10}
+	horizon := 6 * time.Minute
+	if opt.Quick {
+		sizes = []int{2, 6, 10}
+		horizon = 2 * time.Minute
+	}
+	for _, pairs := range sizes {
+		base := runE16Arm(opt, pairs, scenario.PolicyBaseline, horizon)
+		coop := runE16Arm(opt, pairs, scenario.PolicyStatusSharing, horizon)
+		baseRate := base.delivered / horizon.Minutes()
+		coopRate := coop.delivered / horizon.Minutes()
+		t.AddRow(fmt.Sprintf("%d", pairs), fmt.Sprintf("%d", 2*pairs),
+			f2(baseRate), f2(coopRate), f2(coopRate-baseRate),
+			fmt.Sprintf("%d", coop.nearMisses))
+	}
+	return t
+}
+
+type e16Arm struct {
+	delivered  float64
+	nearMisses int
+}
+
+func runE16Arm(opt Options, pairs int, policy scenario.PolicyKind, horizon time.Duration) e16Arm {
+	rig := mustQuarry(scenario.QuarryConfig{
+		Pairs: pairs, TrucksPerPair: 1,
+		Policy: policy,
+		Seed:   opt.Seed,
+	})
+	// Strand the victim mid-tunnel before anyone moves (same staging
+	// as E6): it reaches MRC on the haul road and becomes the
+	// blockage every other constituent must deal with for the whole
+	// horizon.
+	victim := rig.Trucks[0]
+	victim.Body().Teleport(geom.Pose{Pos: geom.V(150, 0)})
+	victim.ApplyFault(fault.Fault{ID: "blind", Target: victim.ID(),
+		Kind: fault.KindSensor, Severity: 1, Permanent: true})
+	res := rig.Run(horizon)
+	opt.Observe(fmt.Sprintf("pairs=%d/%s", pairs, policy),
+		res.Report, res.Log, rig.Net, rig.Injector)
+	return e16Arm{delivered: rig.Delivered(), nearMisses: res.Report.NearMisses}
+}
+
 // RunA5 ablates the MRC resolution rate: the adopted MRC definition
 // counts "the rate of resolving the MRC" towards its acceptability,
 // because residual risk accumulates while an MRC stays unresolved. A

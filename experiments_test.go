@@ -15,8 +15,8 @@ func quick() Options { return Options{Quick: true, Seed: 1} }
 
 func TestRegistry(t *testing.T) {
 	es := AllExperiments()
-	if len(es) != 15 {
-		t.Fatalf("experiments = %d, want 15", len(es))
+	if len(es) != 16 {
+		t.Fatalf("experiments = %d, want 16", len(es))
 	}
 	seen := map[string]bool{}
 	for _, e := range es {
@@ -34,7 +34,7 @@ func TestRegistry(t *testing.T) {
 	if _, ok := ExperimentByID("E99"); ok {
 		t.Error("unknown ID should fail")
 	}
-	if len(ExperimentIDs()) != 15 {
+	if len(ExperimentIDs()) != 16 {
 		t.Error("ExperimentIDs wrong")
 	}
 }
@@ -330,6 +330,29 @@ func TestE15Shape(t *testing.T) {
 	}
 	if tab.CellFloat(flap, 1) <= tab.CellFloat(auto, 1) {
 		t.Error("flapping weather must produce more MRC cycles")
+	}
+}
+
+// E16: the cooperation payoff (status-sharing minus baseline
+// throughput) must be non-negative at every fleet size and strictly
+// larger at the biggest deployment than the smallest — the scale
+// argument the sweep exists to make.
+func TestE16Shape(t *testing.T) {
+	tab := RunE16(quick())
+	if len(tab.Rows) < 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for i, row := range tab.Rows {
+		gap := tab.CellFloat(i, 4)
+		if gap < 0 {
+			t.Errorf("pairs=%s: cooperation gap negative: %v", row[0], gap)
+		}
+	}
+	first := tab.CellFloat(0, 4)
+	last := tab.CellFloat(len(tab.Rows)-1, 4)
+	if last <= first {
+		t.Errorf("cooperation gap should widen with fleet size: %v (pairs=%s) vs %v (pairs=%s)",
+			first, tab.Rows[0][0], last, tab.Rows[len(tab.Rows)-1][0])
 	}
 }
 

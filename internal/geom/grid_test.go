@@ -1,0 +1,107 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func pairSet(pairs [][2]int) map[[2]int]bool {
+	out := make(map[[2]int]bool, len(pairs))
+	for _, p := range pairs {
+		out[p] = true
+	}
+	return out
+}
+
+func TestGridCompleteness(t *testing.T) {
+	// Any pair within the cell size must be a candidate, whatever the
+	// layout; property-checked against the brute-force oracle.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		cell := 1 + 9*rng.Float64()
+		g := NewGrid(cell)
+		n := 2 + rng.Intn(40)
+		pts := make([]Vec2, n)
+		for i := range pts {
+			pts[i] = V(rng.Float64()*100-50, rng.Float64()*100-50)
+			g.Insert(i, pts[i])
+		}
+		got := pairSet(g.CandidatePairs(nil))
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				d := pts[i].Dist(pts[j])
+				if d < cell && !got[[2]int{i, j}] {
+					t.Fatalf("trial %d: pair (%d,%d) at %.2f < cell %.2f missed", trial, i, j, d, cell)
+				}
+				if d > 2*1.4143*cell && got[[2]int{i, j}] {
+					t.Fatalf("trial %d: pair (%d,%d) at %.2f reported for cell %.2f", trial, i, j, d, cell)
+				}
+			}
+		}
+	}
+}
+
+func TestGridPairsSortedAndUnique(t *testing.T) {
+	g := NewGrid(2)
+	// A clump inside one cell plus neighbours across boundaries.
+	pts := []Vec2{V(0.1, 0.1), V(0.3, 0.2), V(1.9, 0.1), V(2.1, 0.1), V(-0.1, -0.1), V(0.1, 2.05)}
+	for i, p := range pts {
+		g.Insert(i, p)
+	}
+	pairs := g.CandidatePairs(nil)
+	seen := map[[2]int]bool{}
+	for i, p := range pairs {
+		if p[0] >= p[1] {
+			t.Errorf("pair %v not ordered", p)
+		}
+		if seen[p] {
+			t.Errorf("pair %v duplicated", p)
+		}
+		seen[p] = true
+		if i > 0 {
+			prev := pairs[i-1]
+			if prev[0] > p[0] || (prev[0] == p[0] && prev[1] >= p[1]) {
+				t.Errorf("pairs not sorted: %v before %v", prev, p)
+			}
+		}
+	}
+}
+
+func TestGridResetReuses(t *testing.T) {
+	g := NewGrid(1)
+	g.Insert(0, V(0, 0))
+	g.Insert(1, V(0.5, 0))
+	if n := len(g.CandidatePairs(nil)); n != 1 {
+		t.Fatalf("pairs = %d, want 1", n)
+	}
+	g.Reset(1)
+	if n := len(g.CandidatePairs(nil)); n != 0 {
+		t.Errorf("pairs after reset = %d, want 0", n)
+	}
+	// New cell size takes effect.
+	g.Reset(10)
+	if g.CellSize() != 10 {
+		t.Errorf("cell size = %v", g.CellSize())
+	}
+	g.Insert(0, V(0, 0))
+	g.Insert(1, V(8, 0))
+	if n := len(g.CandidatePairs(nil)); n != 1 {
+		t.Errorf("pairs = %d, want 1 at the larger cell", n)
+	}
+	// Degenerate cell sizes are clamped, not a crash.
+	g.Reset(0)
+	g.Insert(0, V(1, 1))
+}
+
+func TestGridNegativeCoordinates(t *testing.T) {
+	// math.Floor (not integer truncation) must assign cells around the
+	// origin: -0.5 and +0.5 are different cells at size 1.
+	g := NewGrid(1)
+	g.Insert(0, V(-0.5, 0.5))
+	g.Insert(1, V(0.5, 0.5))
+	g.Insert(2, V(-1.5, 0.5))
+	got := pairSet(g.CandidatePairs(nil))
+	if !got[[2]int{0, 1}] || !got[[2]int{0, 2}] {
+		t.Errorf("adjacent cells across the origin missed: %v", got)
+	}
+}

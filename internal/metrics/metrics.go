@@ -9,6 +9,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"time"
@@ -44,17 +45,25 @@ type Probe struct {
 }
 
 // riskRelevant reports whether the probe currently contributes
-// transition risk.
-func riskRelevant(p Probe) bool {
+// transition risk, given its already-sampled mode.
+func riskRelevant(p Probe, mode string) bool {
 	if p.Stopped == nil {
 		return true
 	}
-	mode := p.Mode()
 	if mode == "mrm" || mode == "mrc" {
 		return true
 	}
 	return p.Stopped() && p.InActiveLane != nil && p.InActiveLane()
 }
+
+// ContactEpsilon is the footprint distance at or below which two
+// constituents count as in contact. Touching boxes resolve to an
+// exact zero through the separating-axis test, but footprints built
+// from trigonometric poses can land a hair apart; comparing against
+// an epsilon instead of `== 0` keeps the touching-boxes boundary
+// stable against float jitter without ever promoting a real gap
+// (≥ millimetres) to a collision.
+const ContactEpsilon = 1e-9
 
 // Collector accumulates measurements over a run. Register it as a
 // post-step hook.
@@ -62,8 +71,16 @@ type Collector struct {
 	probes []Probe
 
 	// NearMissDist is the separation below which a near miss is
-	// counted (edge-triggered per pair).
+	// counted (edge-triggered per pair). It is also the broad-phase
+	// radius: separations beyond it are not safety-meaningful, so
+	// Report clamps MinSeparation to it (see Report.MinSeparation).
 	NearMissDist float64
+
+	// UseBruteForce disables the uniform-grid broad-phase and scores
+	// every pair exactly as the pre-index collector did — the oracle
+	// arm of the differential tests and the baseline of the proximity
+	// benchmarks. Reports are identical either way.
+	UseBruteForce bool
 
 	taskUnits     float64
 	riskExposure  float64
@@ -71,12 +88,26 @@ type Collector struct {
 	nearMisses    int
 	minSep        float64
 	sepSeen       bool
+	pairSeen      bool
 	modeTime      map[string]map[string]time.Duration // id -> mode -> time
 	stoppedLane   map[string]time.Duration
 	inContact     map[[2]string]bool
 	inNear        map[[2]string]bool
 	duration      time.Duration
 	interventions func() int
+
+	// Per-tick scratch state, reused across samples: the footprint
+	// cache (each probe's Footprint() runs exactly once per tick), the
+	// cached risk relevance, the broad-phase grid and its pair buffer,
+	// and the set of pairs scored this tick (for latch maintenance of
+	// pairs the broad-phase skipped).
+	index    map[string]int // probe ID -> slice position
+	boxes    []geom.OrientedBox
+	halfDiag []float64
+	relevant []bool
+	grid     *geom.Grid
+	pairBuf  [][2]int
+	scored   map[[2]string]bool
 }
 
 // NewCollector returns a collector over the given probes.
@@ -88,9 +119,15 @@ func NewCollector(probes ...Probe) *Collector {
 		stoppedLane:  make(map[string]time.Duration),
 		inContact:    make(map[[2]string]bool),
 		inNear:       make(map[[2]string]bool),
+		index:        make(map[string]int, len(probes)),
+		boxes:        make([]geom.OrientedBox, len(probes)),
+		halfDiag:     make([]float64, len(probes)),
+		relevant:     make([]bool, len(probes)),
+		scored:       make(map[[2]string]bool),
 	}
-	for _, p := range probes {
+	for i, p := range probes {
 		c.modeTime[p.ID] = make(map[string]time.Duration)
+		c.index[p.ID] = i
 	}
 	return c
 }
@@ -115,7 +152,8 @@ func (c *Collector) Hook() sim.Hook {
 func (c *Collector) Sample(env *sim.Env) {
 	dt := env.Clock.Step()
 	c.duration += dt
-	for _, p := range c.probes {
+	anyRelevant := false
+	for i, p := range c.probes {
 		mode := p.Mode()
 		c.modeTime[p.ID][mode] += dt
 		if (mode == "mrc" || mode == "mrm") && p.InActiveLane != nil && p.InActiveLane() {
@@ -124,43 +162,128 @@ func (c *Collector) Sample(env *sim.Env) {
 		if mode == "mrc" && p.StopRisk != nil {
 			c.riskExposure += p.StopRisk() * dt.Seconds()
 		}
+		c.relevant[i] = riskRelevant(p, mode)
+		anyRelevant = anyRelevant || c.relevant[i]
 	}
-	// Pairwise proximity over risk-relevant pairs. Pairs that are not
-	// currently risk-relevant are skipped but keep their latched
-	// contact/near state: one continuous contact that spans a
-	// risk-relevance transition (e.g. a mode change mid-overlap) must
-	// stay a single edge-triggered event, not re-trigger on re-entry.
+	if len(c.probes) < 2 {
+		return
+	}
+	if !anyRelevant {
+		// No probe is risk-relevant this tick: every pair would be
+		// rejected by the narrow phase and no latch can be released
+		// (release requires a relevant member), so the whole proximity
+		// pass — footprint sampling included — is skipped.
+		return
+	}
+	// At least one probe is risk-relevant, so at least one pair would
+	// be scored — the run has observed a separation floor even if the
+	// broad-phase finds no candidates in range.
+	c.pairSeen = true
+	// Footprint cache: each probe's Footprint() closure runs at most
+	// once per tick, whatever the pair count.
+	for i, p := range c.probes {
+		c.boxes[i] = p.Footprint()
+		c.halfDiag[i] = 0.5 * math.Hypot(c.boxes[i].Length, c.boxes[i].Width)
+	}
+	if c.UseBruteForce {
+		c.sampleBrute(env)
+	} else {
+		c.sampleIndexed(env)
+	}
+}
+
+// sampleBrute scores every pair — the O(n²) oracle path.
+func (c *Collector) sampleBrute(env *sim.Env) {
 	for i := 0; i < len(c.probes); i++ {
 		for j := i + 1; j < len(c.probes); j++ {
-			a, b := c.probes[i], c.probes[j]
-			if !riskRelevant(a) && !riskRelevant(b) {
-				continue
+			c.scorePair(env, i, j)
+		}
+	}
+}
+
+// sampleIndexed scores only broad-phase candidate pairs. Cell size is
+// the largest footprint extent (diagonal) plus NearMissDist, so any
+// pair whose footprint gap could be below NearMissDist is guaranteed
+// to be a candidate; skipped pairs are provably separated by more
+// than NearMissDist, which is exactly the regime where the brute
+// force pass would reset their contact/near latches and where
+// MinSeparation is clamped anyway (see Report.MinSeparation).
+func (c *Collector) sampleIndexed(env *sim.Env) {
+	maxDiag := 0.0
+	for _, hd := range c.halfDiag {
+		if 2*hd > maxDiag {
+			maxDiag = 2 * hd
+		}
+	}
+	cell := maxDiag + c.NearMissDist
+	if c.grid == nil {
+		c.grid = geom.NewGrid(cell)
+	} else {
+		c.grid.Reset(cell)
+	}
+	for i := range c.boxes {
+		c.grid.Insert(i, c.boxes[i].Center)
+	}
+	c.pairBuf = c.grid.CandidatePairs(c.pairBuf[:0])
+	clear(c.scored)
+	for _, pr := range c.pairBuf {
+		c.scorePair(env, pr[0], pr[1])
+		c.scored[[2]string{c.probes[pr[0]].ID, c.probes[pr[1]].ID}] = true
+	}
+	// Latch maintenance for pairs the broad-phase skipped: they are
+	// guaranteed farther apart than NearMissDist, so the brute pass
+	// would have reset their latches (unless the pair is currently
+	// risk-irrelevant, which keeps the latch in both passes).
+	c.releaseSkippedLatches(c.inContact)
+	c.releaseSkippedLatches(c.inNear)
+}
+
+func (c *Collector) releaseSkippedLatches(latch map[[2]string]bool) {
+	for key, on := range latch {
+		if !on || c.scored[key] {
+			continue
+		}
+		i, j := c.index[key[0]], c.index[key[1]]
+		if c.relevant[i] || c.relevant[j] {
+			delete(latch, key)
+		}
+	}
+}
+
+// scorePair runs the narrow phase for one pair against the per-tick
+// footprint and relevance caches. Pairs that are not currently
+// risk-relevant are skipped but keep their latched contact/near
+// state: one continuous contact that spans a risk-relevance
+// transition (e.g. a mode change mid-overlap) must stay a single
+// edge-triggered event, not re-trigger on re-entry.
+func (c *Collector) scorePair(env *sim.Env, i, j int) {
+	if !c.relevant[i] && !c.relevant[j] {
+		return
+	}
+	a, b := c.probes[i], c.probes[j]
+	d := c.boxes[i].Dist(c.boxes[j])
+	if !c.sepSeen || d < c.minSep {
+		c.minSep = d
+		c.sepSeen = true
+	}
+	key := [2]string{a.ID, b.ID}
+	if d <= ContactEpsilon {
+		if !c.inContact[key] {
+			c.inContact[key] = true
+			c.collisions++
+			env.Emit(sim.EventCollision, a.ID+"+"+b.ID, "footprint overlap")
+		}
+	} else {
+		delete(c.inContact, key)
+		if d < c.NearMissDist {
+			if !c.inNear[key] {
+				c.inNear[key] = true
+				c.nearMisses++
+				env.Emit(sim.EventNearMiss, a.ID+"+"+b.ID,
+					fmt.Sprintf("separation %.2fm", d))
 			}
-			d := a.Footprint().Dist(b.Footprint())
-			if !c.sepSeen || d < c.minSep {
-				c.minSep = d
-				c.sepSeen = true
-			}
-			key := [2]string{a.ID, b.ID}
-			if d == 0 {
-				if !c.inContact[key] {
-					c.inContact[key] = true
-					c.collisions++
-					env.Emit(sim.EventCollision, a.ID+"+"+b.ID, "footprint overlap")
-				}
-			} else {
-				c.inContact[key] = false
-				if d < c.NearMissDist {
-					if !c.inNear[key] {
-						c.inNear[key] = true
-						c.nearMisses++
-						env.Emit(sim.EventNearMiss, a.ID+"+"+b.ID,
-							fmt.Sprintf("separation %.2fm", d))
-					}
-				} else {
-					c.inNear[key] = false
-				}
-			}
+		} else {
+			delete(c.inNear, key)
 		}
 	}
 }
@@ -170,8 +293,15 @@ type Report struct {
 	Duration      time.Duration
 	TaskUnits     float64
 	Productivity  float64 // task units per simulated minute
-	Collisions    int
-	NearMisses    int
+	Collisions int
+	NearMisses int
+	// MinSeparation is the smallest footprint gap observed over any
+	// risk-relevant pair, clamped from above to the collector's
+	// NearMissDist (the broad-phase radius): separations beyond the
+	// near-miss threshold are not safety-meaningful and the spatial
+	// index does not measure them, so a run whose closest pass stayed
+	// outside near-miss range reports exactly NearMissDist. -1 when no
+	// risk-relevant pair was ever observed.
 	MinSeparation float64
 	Interventions int
 	// ModeShare maps constituent -> mode -> fraction of run time.
@@ -195,12 +325,17 @@ func (c *Collector) Report() Report {
 		TaskUnits:     c.taskUnits,
 		Collisions:    c.collisions,
 		NearMisses:    c.nearMisses,
-		MinSeparation: c.minSep,
+		MinSeparation: math.Min(c.minSep, c.NearMissDist),
 		RiskExposure:  c.riskExposure,
 		ModeShare:     make(map[string]map[string]float64, len(c.probes)),
 	}
 	if !c.sepSeen {
+		// Pairs existed but none came within broad-phase range: the
+		// floor is the clamp itself. No pairs at all: -1.
 		r.MinSeparation = -1
+		if c.pairSeen {
+			r.MinSeparation = c.NearMissDist
+		}
 	}
 	if c.duration > 0 {
 		r.Productivity = c.taskUnits / c.duration.Minutes()

@@ -1,0 +1,84 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"coopmrm/internal/fault"
+	"coopmrm/internal/metrics"
+)
+
+// The broad-phase proximity index must be invisible in every rig
+// output: two identically-seeded runs of the same scenario, one with
+// the brute-force O(n²) pass and one with the spatial index, must
+// report identical collisions, near misses, min separation and mode
+// shares. This is the rig-level half of the differential guarantee;
+// the metrics package property-tests the collector in isolation.
+
+func assertReportsIdentical(t *testing.T, name string, brute, indexed metrics.Report) {
+	t.Helper()
+	if brute.Collisions != indexed.Collisions {
+		t.Errorf("%s: collisions %d (brute) != %d (indexed)", name, brute.Collisions, indexed.Collisions)
+	}
+	if brute.NearMisses != indexed.NearMisses {
+		t.Errorf("%s: near misses %d (brute) != %d (indexed)", name, brute.NearMisses, indexed.NearMisses)
+	}
+	if brute.MinSeparation != indexed.MinSeparation {
+		t.Errorf("%s: min separation %v (brute) != %v (indexed)", name, brute.MinSeparation, indexed.MinSeparation)
+	}
+	if !reflect.DeepEqual(brute.ModeShare, indexed.ModeShare) {
+		t.Errorf("%s: mode shares differ:\n%v\nvs\n%v", name, brute.ModeShare, indexed.ModeShare)
+	}
+	if brute.StoppedInLane != indexed.StoppedInLane || brute.RiskExposure != indexed.RiskExposure {
+		t.Errorf("%s: exposure differs: %v/%v vs %v/%v", name,
+			brute.StoppedInLane, brute.RiskExposure, indexed.StoppedInLane, indexed.RiskExposure)
+	}
+}
+
+func quarryDifferentialArm(t *testing.T, brute bool) metrics.Report {
+	t.Helper()
+	rig, err := NewQuarry(QuarryConfig{
+		Pairs: 3, TrucksPerPair: 2,
+		Policy: PolicyStatusSharing,
+		Seed:   11,
+		Faults: []fault.Fault{
+			{ID: "f1", Target: "truck1_1", Kind: fault.KindSensor,
+				Severity: 1, Permanent: true, At: 30 * time.Second},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig.Collector.UseBruteForce = brute
+	return rig.Run(3 * time.Minute).Report
+}
+
+func TestQuarryIndexedMatchesBruteForce(t *testing.T) {
+	brute := quarryDifferentialArm(t, true)
+	indexed := quarryDifferentialArm(t, false)
+	assertReportsIdentical(t, "quarry", brute, indexed)
+	if brute.NearMisses == 0 && brute.Collisions == 0 && brute.MinSeparation < 0 {
+		t.Error("differential arm observed no proximity at all — scenario too tame to prove anything")
+	}
+}
+
+func harbourDifferentialArm(t *testing.T, brute bool) metrics.Report {
+	t.Helper()
+	rig, err := NewHarbour(HarbourConfig{
+		Forklifts: 4,
+		Seed:      5,
+		TwoLevel:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig.Collector.UseBruteForce = brute
+	return rig.Run(3 * time.Minute).Report
+}
+
+func TestHarbourIndexedMatchesBruteForce(t *testing.T) {
+	brute := harbourDifferentialArm(t, true)
+	indexed := harbourDifferentialArm(t, false)
+	assertReportsIdentical(t, "harbour", brute, indexed)
+}

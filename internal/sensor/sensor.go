@@ -34,7 +34,27 @@ type Suite struct {
 	weatherFactor float64
 }
 
+// Validate checks a sensor definition list for configuration
+// mistakes: empty names and duplicate names (a duplicate would
+// silently shadow the first definition's health and range).
+func Validate(sensors ...Sensor) error {
+	seen := make(map[string]bool, len(sensors))
+	for _, s := range sensors {
+		if s.Name == "" {
+			return fmt.Errorf("sensor: sensor with empty name")
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("sensor: duplicate sensor name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	return nil
+}
+
 // NewSuite builds a suite from sensor definitions; all start healthy.
+// Definitions that fail Validate are dropped (first definition of a
+// duplicated name wins) — prefer NewSuiteStrict, which surfaces the
+// mistake instead of hiding it.
 func NewSuite(sensors ...Sensor) *Suite {
 	st := &Suite{
 		sensors:       make(map[string]*Sensor, len(sensors)),
@@ -52,14 +72,27 @@ func NewSuite(sensors ...Sensor) *Suite {
 	return st
 }
 
+// NewSuiteStrict is NewSuite with Validate applied first: duplicate
+// or empty sensor names are an error rather than a silent drop.
+func NewSuiteStrict(sensors ...Sensor) (*Suite, error) {
+	if err := Validate(sensors...); err != nil {
+		return nil, err
+	}
+	return NewSuite(sensors...), nil
+}
+
 // StandardSuite returns a typical long+short range suite whose best
 // range equals nominalRange.
 func StandardSuite(nominalRange float64) *Suite {
-	return NewSuite(
+	st, err := NewSuiteStrict(
 		Sensor{Name: "long_range_radar", NominalRange: nominalRange, FrontFacing: true},
 		Sensor{Name: "camera", NominalRange: nominalRange * 0.6, FrontFacing: true},
 		Sensor{Name: "short_range", NominalRange: nominalRange * 0.3},
 	)
+	if err != nil {
+		panic(err) // the fixed definitions above can never collide
+	}
+	return st
 }
 
 // Names returns the sensor names in definition order.

@@ -141,3 +141,39 @@ func TestNewSuiteDuplicateNames(t *testing.T) {
 		t.Errorf("first definition should win: %v", st.EffectiveRange())
 	}
 }
+
+// Regression: NewSuite silently dropped duplicate sensor definitions,
+// so a typo in a suite config lost a sensor without a trace. The
+// strict constructor makes it an error.
+func TestNewSuiteStrictRejectsDuplicates(t *testing.T) {
+	if _, err := NewSuiteStrict(
+		Sensor{Name: "x", NominalRange: 10},
+		Sensor{Name: "x", NominalRange: 99},
+	); err == nil {
+		t.Error("duplicate sensor names must be an error")
+	}
+	if _, err := NewSuiteStrict(Sensor{NominalRange: 10}); err == nil {
+		t.Error("empty sensor name must be an error")
+	}
+	st, err := NewSuiteStrict(
+		Sensor{Name: "a", NominalRange: 10},
+		Sensor{Name: "b", NominalRange: 20},
+	)
+	if err != nil || len(st.Names()) != 2 {
+		t.Errorf("valid suite rejected: %v %v", st, err)
+	}
+	if err := Validate(
+		Sensor{Name: "a"}, Sensor{Name: "b"}, Sensor{Name: "a"},
+	); err == nil {
+		t.Error("Validate must catch the duplicate")
+	}
+}
+
+// StandardSuite goes through the strict path: its fixed definitions
+// must stay valid.
+func TestStandardSuiteStrict(t *testing.T) {
+	st := StandardSuite(100)
+	if len(st.Names()) != 3 {
+		t.Errorf("standard suite = %v", st.Names())
+	}
+}

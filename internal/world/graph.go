@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 
 	"coopmrm/internal/geom"
 )
@@ -12,18 +13,34 @@ import (
 // Errors returned by route planning.
 var (
 	ErrUnknownNode = errors.New("world: unknown graph node")
+	ErrUnknownEdge = errors.New("world: unknown graph edge")
 	ErrNoRoute     = errors.New("world: no route between nodes")
 )
 
 // RouteGraph is a weighted graph over named waypoints used for route
 // planning and for rerouting around blocked nodes/edges (e.g. a
 // constituent stopped in a tunnel).
+//
+// Shortest-path queries are memoized: orchestrated sites replan the
+// same origin/destination pairs on every TMS reassignment, so repeat
+// queries against an unchanged graph return a cached route. Any
+// topology or blocking mutation (AddNode, Connect, Block*/Unblock*)
+// invalidates the whole cache.
 type RouteGraph struct {
 	pos         map[string]geom.Vec2
 	adj         map[string]map[string]float64 // from -> to -> length
 	blockedNode map[string]bool
 	blockedEdge map[[2]string]bool
 	nodeOrder   []string
+
+	routeCache map[string]routeCacheEntry
+	cacheHits  int
+	cacheMiss  int
+}
+
+type routeCacheEntry struct {
+	route []string
+	err   error
 }
 
 // NewRouteGraph returns an empty graph.
@@ -33,7 +50,14 @@ func NewRouteGraph() *RouteGraph {
 		adj:         make(map[string]map[string]float64),
 		blockedNode: make(map[string]bool),
 		blockedEdge: make(map[[2]string]bool),
+		routeCache:  make(map[string]routeCacheEntry),
 	}
+}
+
+// invalidateRoutes drops every memoized route; called by any mutation
+// that can change planning outcomes.
+func (g *RouteGraph) invalidateRoutes() {
+	clear(g.routeCache)
 }
 
 // AddNode inserts a waypoint. Re-adding an existing ID moves it.
@@ -43,6 +67,7 @@ func (g *RouteGraph) AddNode(id string, p geom.Vec2) {
 		g.adj[id] = make(map[string]float64)
 	}
 	g.pos[id] = p
+	g.invalidateRoutes()
 }
 
 // NodePos returns the position of a node.
@@ -72,7 +97,14 @@ func (g *RouteGraph) Connect(a, b string) error {
 	d := pa.Dist(pb)
 	g.adj[a][b] = d
 	g.adj[b][a] = d
+	g.invalidateRoutes()
 	return nil
+}
+
+// HasEdge reports whether an edge exists between a and b.
+func (g *RouteGraph) HasEdge(a, b string) bool {
+	_, ok := g.adj[a][b]
+	return ok
 }
 
 // MustConnect is Connect that panics on error.
@@ -94,22 +126,54 @@ func (g *RouteGraph) ConnectChain(ids ...string) error {
 
 // BlockNode marks a node unusable for routing (other than as an
 // endpoint), e.g. because a constituent reached MRC there.
-func (g *RouteGraph) BlockNode(id string) { g.blockedNode[id] = true }
-
-// UnblockNode clears a node block.
-func (g *RouteGraph) UnblockNode(id string) { delete(g.blockedNode, id) }
-
-// BlockEdge marks the edge between a and b (both directions)
-// unusable.
-func (g *RouteGraph) BlockEdge(a, b string) {
-	g.blockedEdge[[2]string{a, b}] = true
-	g.blockedEdge[[2]string{b, a}] = true
+func (g *RouteGraph) BlockNode(id string) {
+	g.blockedNode[id] = true
+	g.invalidateRoutes()
 }
 
-// UnblockEdge clears an edge block (both directions).
-func (g *RouteGraph) UnblockEdge(a, b string) {
+// UnblockNode clears a node block.
+func (g *RouteGraph) UnblockNode(id string) {
+	delete(g.blockedNode, id)
+	g.invalidateRoutes()
+}
+
+// BlockEdge marks the edge between a and b (both directions)
+// unusable. Blocking an edge the graph does not have is an error,
+// consistent with Connect's validation: a silent no-op here would let
+// a mistyped blockage leave traffic flowing through the blocked spot.
+func (g *RouteGraph) BlockEdge(a, b string) error {
+	if err := g.checkEdge(a, b); err != nil {
+		return err
+	}
+	g.blockedEdge[[2]string{a, b}] = true
+	g.blockedEdge[[2]string{b, a}] = true
+	g.invalidateRoutes()
+	return nil
+}
+
+// UnblockEdge clears an edge block (both directions). Unblocking an
+// edge the graph does not have is an error; unblocking an existing
+// edge that was never blocked is a harmless no-op.
+func (g *RouteGraph) UnblockEdge(a, b string) error {
+	if err := g.checkEdge(a, b); err != nil {
+		return err
+	}
 	delete(g.blockedEdge, [2]string{a, b})
 	delete(g.blockedEdge, [2]string{b, a})
+	g.invalidateRoutes()
+	return nil
+}
+
+func (g *RouteGraph) checkEdge(a, b string) error {
+	for _, id := range []string{a, b} {
+		if _, ok := g.pos[id]; !ok {
+			return fmt.Errorf("%w: %q", ErrUnknownNode, id)
+		}
+	}
+	if !g.HasEdge(a, b) {
+		return fmt.Errorf("%w: %q -- %q", ErrUnknownEdge, a, b)
+	}
+	return nil
 }
 
 // Blocked reports whether a node is currently blocked.
@@ -147,9 +211,71 @@ func (g *RouteGraph) ShortestPathAvoiding(a, b string, avoid map[string]bool) ([
 }
 
 // ShortestPathWith is the general planner honouring both node and
-// edge avoidance.
+// edge avoidance. Results are memoized per (origin, destination,
+// avoidance) until the next graph mutation; callers receive a private
+// copy of the route, so mutating it cannot poison the cache.
 func (g *RouteGraph) ShortestPathWith(a, b string, av Avoidance) ([]string, error) {
-	return g.shortestPath(a, b, av)
+	key := routeKey(a, b, av)
+	if e, ok := g.routeCache[key]; ok {
+		g.cacheHits++
+		return append([]string(nil), e.route...), e.err
+	}
+	g.cacheMiss++
+	route, err := g.shortestPath(a, b, av)
+	g.routeCache[key] = routeCacheEntry{route: route, err: err}
+	return append([]string(nil), route...), err
+}
+
+// RouteCacheStats returns the cumulative shortest-path cache hit and
+// miss counts — an observability hook for scale experiments.
+func (g *RouteGraph) RouteCacheStats() (hits, misses int) {
+	return g.cacheHits, g.cacheMiss
+}
+
+// routeKey canonically encodes one planning query. Avoidance sets are
+// order-normalized (sorted, undirected edges flipped to lexicographic
+// order and deduplicated) so equivalent queries share a cache line.
+func routeKey(a, b string, av Avoidance) string {
+	var sb strings.Builder
+	sb.WriteString(a)
+	sb.WriteByte(0)
+	sb.WriteString(b)
+	if len(av.Nodes) > 0 {
+		ids := make([]string, 0, len(av.Nodes))
+		for id, on := range av.Nodes {
+			if on {
+				ids = append(ids, id)
+			}
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			sb.WriteByte(1)
+			sb.WriteString(id)
+		}
+	}
+	if len(av.Edges) > 0 {
+		es := make([]string, 0, len(av.Edges))
+		for e, on := range av.Edges {
+			if on {
+				x, y := e[0], e[1]
+				if x > y {
+					x, y = y, x
+				}
+				es = append(es, x+"\x00"+y)
+			}
+		}
+		sort.Strings(es)
+		prev := ""
+		for i, e := range es {
+			if i > 0 && e == prev {
+				continue // {a,b} and {b,a} normalize to one entry
+			}
+			prev = e
+			sb.WriteByte(2)
+			sb.WriteString(e)
+		}
+	}
+	return sb.String()
 }
 
 func (g *RouteGraph) shortestPath(a, b string, av Avoidance) ([]string, error) {

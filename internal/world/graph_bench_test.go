@@ -52,6 +52,21 @@ func BenchmarkShortestPathGrid30Avoiding(b *testing.B) {
 	}
 }
 
+// The uncached planner: every iteration invalidates the route cache,
+// so this measures Dijkstra itself while the Grid10/Grid30 variants
+// above measure the memoized steady state a reroute-heavy site sees.
+func BenchmarkShortestPathGrid10Uncached(b *testing.B) {
+	g := gridGraph(10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.invalidateRoutes()
+		if _, err := g.ShortestPath("n0_0", "n9_9"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkNearestEdgeGrid30(b *testing.B) {
 	g := gridGraph(30)
 	p := geom.V(147, 153)

@@ -1,6 +1,7 @@
 package world
 
 import (
+	"errors"
 	"testing"
 
 	"coopmrm/internal/geom"
@@ -95,6 +96,123 @@ func TestNearestEdgeEndpointOrder(t *testing.T) {
 	a, b, _, _ := g.NearestEdge(geom.V(100, -3))
 	if a >= b {
 		t.Errorf("endpoints not lexicographic: %s-%s", a, b)
+	}
+}
+
+// Blocking or unblocking an edge the graph does not have used to be a
+// silent no-op — a mistyped blockage would leave traffic flowing
+// through the blocked spot. It is now an error, consistent with
+// Connect's validation.
+func TestBlockEdgeValidation(t *testing.T) {
+	g := diamond()
+	if err := g.BlockEdge("a", "zzz"); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("unknown node: err = %v, want ErrUnknownNode", err)
+	}
+	// Both nodes exist, but no edge connects them directly.
+	if err := g.BlockEdge("a", "b"); !errors.Is(err, ErrUnknownEdge) {
+		t.Errorf("unknown edge: err = %v, want ErrUnknownEdge", err)
+	}
+	if err := g.UnblockEdge("m", "alt"); !errors.Is(err, ErrUnknownEdge) {
+		t.Errorf("unblock unknown edge: err = %v, want ErrUnknownEdge", err)
+	}
+	// A real edge blocks fine; unblocking a never-blocked real edge is
+	// a harmless no-op.
+	if err := g.BlockEdge("a", "m"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.UnblockEdge("m", "b"); err != nil {
+		t.Errorf("unblocking an existing unblocked edge: %v", err)
+	}
+	if !g.HasEdge("a", "m") || g.HasEdge("a", "b") {
+		t.Error("HasEdge wrong")
+	}
+}
+
+// Repeat queries against an unchanged graph must come from the route
+// cache; every mutation must invalidate it.
+func TestRouteCacheHitsAndInvalidation(t *testing.T) {
+	g := diamond()
+	r1, err := g.ShortestPath("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, miss0 := g.RouteCacheStats()
+	r2, err := g.ShortestPath("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, miss := g.RouteCacheStats()
+	if hits != 1 || miss != miss0 {
+		t.Errorf("stats after repeat query = %d hits %d misses, want 1 hit and no new miss", hits, miss)
+	}
+	if len(r1) != len(r2) || r1[1] != r2[1] {
+		t.Errorf("cached route differs: %v vs %v", r1, r2)
+	}
+	// The caller's copy is private: mutating it must not poison the
+	// cache.
+	r2[1] = "poisoned"
+	r3, _ := g.ShortestPath("a", "b")
+	if r3[1] != "m" {
+		t.Errorf("cache poisoned through returned slice: %v", r3)
+	}
+	// Blocking the edge on the cached route invalidates the cache and
+	// replans around it.
+	if err := g.BlockEdge("a", "m"); err != nil {
+		t.Fatal(err)
+	}
+	r4, err := g.ShortestPath("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4[1] != "alt" {
+		t.Errorf("post-block route = %v, want via alt (stale cache?)", r4)
+	}
+	// Unblocking restores the direct route — again through a fresh
+	// plan, not a stale entry.
+	if err := g.UnblockEdge("a", "m"); err != nil {
+		t.Fatal(err)
+	}
+	r5, _ := g.ShortestPath("a", "b")
+	if r5[1] != "m" {
+		t.Errorf("post-unblock route = %v, want via m", r5)
+	}
+}
+
+// Distinct avoidance sets are distinct cache entries; equivalent ones
+// (edge direction, duplicate spellings) share one.
+func TestRouteCacheAvoidanceKeying(t *testing.T) {
+	g := diamond()
+	direct, _ := g.ShortestPathWith("a", "b", Avoidance{})
+	avoided, _ := g.ShortestPathWith("a", "b", Avoidance{Edges: map[[2]string]bool{{"a", "m"}: true}})
+	if direct[1] != "m" || avoided[1] != "alt" {
+		t.Fatalf("routes = %v / %v", direct, avoided)
+	}
+	// The flipped edge spelling and a redundant duplicate must hit the
+	// same cache entry.
+	hits0, _ := g.RouteCacheStats()
+	again, _ := g.ShortestPathWith("a", "b", Avoidance{Edges: map[[2]string]bool{
+		{"m", "a"}: true,
+		{"a", "m"}: true,
+	}})
+	hits, _ := g.RouteCacheStats()
+	if hits != hits0+1 {
+		t.Errorf("equivalent avoidance missed the cache: hits %d -> %d", hits0, hits)
+	}
+	if again[1] != "alt" {
+		t.Errorf("route = %v", again)
+	}
+	// Cached errors are cached too: an unroutable query repeats from
+	// the cache with the same error.
+	blockAll := Avoidance{Edges: map[[2]string]bool{{"a", "m"}: true, {"a", "alt"}: true}}
+	_, err1 := g.ShortestPathWith("a", "b", blockAll)
+	hits0, _ = g.RouteCacheStats()
+	_, err2 := g.ShortestPathWith("a", "b", blockAll)
+	hits, _ = g.RouteCacheStats()
+	if !errors.Is(err1, ErrNoRoute) || !errors.Is(err2, ErrNoRoute) {
+		t.Errorf("errors = %v / %v, want ErrNoRoute", err1, err2)
+	}
+	if hits != hits0+1 {
+		t.Error("error result not cached")
 	}
 }
 

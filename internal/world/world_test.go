@@ -164,12 +164,16 @@ func TestRouteGraphBlocking(t *testing.T) {
 		t.Errorf("unblocked route = %v, want via m", route)
 	}
 
-	g.BlockEdge("a", "m")
+	if err := g.BlockEdge("a", "m"); err != nil {
+		t.Fatal(err)
+	}
 	route, _ = g.ShortestPath("a", "b")
 	if route[1] != "alt" {
 		t.Errorf("edge-blocked route = %v", route)
 	}
-	g.UnblockEdge("a", "m")
+	if err := g.UnblockEdge("a", "m"); err != nil {
+		t.Fatal(err)
+	}
 	route, _ = g.ShortestPath("a", "b")
 	if route[1] != "m" {
 		t.Errorf("edge-unblocked route = %v", route)

@@ -49,11 +49,18 @@ func ParseSeedSpec(spec string, base int64) ([]int64, error) {
 		return seeds, nil
 	}
 	var seeds []int64
+	seen := make(map[int64]bool)
 	for _, part := range strings.Split(spec, ",") {
 		s, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
 		if err != nil {
 			return nil, fmt.Errorf("seed spec %q: bad seed %q", spec, part)
 		}
+		// A repeated seed would run (and aggregate) the same arm
+		// twice, silently skewing mean±sd — reject it.
+		if seen[s] {
+			return nil, fmt.Errorf("seed spec %q: duplicate seed %d", spec, s)
+		}
+		seen[s] = true
 		seeds = append(seeds, s)
 	}
 	return seeds, nil

@@ -25,10 +25,19 @@ func TestParseSeedSpec(t *testing.T) {
 		}
 		dup[s] = true
 	}
-	for _, bad := range []string{"", "5..1", "x0", "xq", "a,b", "1...3"} {
+	for _, bad := range []string{"", "5..1", "5..3", "x0", "xq", "a,b", "1...3",
+		",", " , ", "3,5,3", "7,7"} {
 		if _, err := ParseSeedSpec(bad, 1); err == nil {
 			t.Errorf("spec %q should fail", bad)
 		}
+	}
+	if _, err := ParseSeedSpec("3,3", 1); err == nil ||
+		!strings.Contains(err.Error(), "duplicate seed 3") {
+		t.Errorf("duplicate list seed: err = %v, want duplicate-seed error", err)
+	}
+	// A whitespace-only spec is the empty spec, not a one-element list.
+	if _, err := ParseSeedSpec("   ", 1); err == nil {
+		t.Error("whitespace-only spec should fail")
 	}
 }
 
