@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race vet bench
+.PHONY: build test check race vet lint bench
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,17 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond go vet. CI installs staticcheck
+# (honnef.co/go/tools/cmd/staticcheck); locally the target runs it when
+# present and prints a notice otherwise, so `make lint` never fails on
+# a machine without the binary (or without network access to fetch it).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 race:
 	$(GO) test -race ./...

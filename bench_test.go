@@ -94,6 +94,9 @@ func BenchmarkE15AutoRecovery(b *testing.B) { benchExperiment(b, "E15") }
 // BenchmarkE16ScaleSweep regenerates the fleet-size scale sweep.
 func BenchmarkE16ScaleSweep(b *testing.B) { benchExperiment(b, "E16") }
 
+// BenchmarkE17Chaos regenerates the V2X chaos campaign.
+func BenchmarkE17Chaos(b *testing.B) { benchExperiment(b, "E17") }
+
 // benchProximity measures one metrics.Collector.Sample pass over a
 // 10-pair quarry fleet mid-incident — the per-tick proximity hot path
 // — with either the brute-force O(n²) scorer or the uniform-grid
@@ -152,7 +155,7 @@ func benchRunSet(b *testing.B, workers int) {
 	}
 }
 
-// BenchmarkAllSerial runs the full E1..E16 + A1..A5 index through the
+// BenchmarkAllSerial runs the full E1..E17 + A1..A5 index through the
 // worker pool with one worker — the serial baseline.
 func BenchmarkAllSerial(b *testing.B) { benchRunSet(b, 1) }
 

@@ -1,5 +1,5 @@
 // Command experiments regenerates every table and figure of the paper
-// as simulation outputs (the E1..E16 index in DESIGN.md).
+// as simulation outputs (the E1..E17 index in DESIGN.md).
 //
 // Usage:
 //

@@ -1,0 +1,59 @@
+// Command goldenbundles regenerates the zero-chaos golden artifact
+// bundles under testdata/golden-zero-chaos. The golden bytes are the
+// differential baseline for TestZeroChaosBundlesMatchGolden: they were
+// produced by the pre-chaos comm stack and must stay byte-identical
+// under a zero-chaos NetConfig (no reorder, no duplication, no
+// partitions). Regenerate them ONLY when an intentional,
+// behaviour-changing change to the experiments or the artifact schema
+// is being made — never to paper over an accidental diff.
+//
+// Usage: go run ./cmd/goldenbundles [dir]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	coopmrm "coopmrm"
+	"coopmrm/internal/artifact"
+)
+
+// GoldenExperiments are the experiments locked by the golden bundles:
+// E6 exercises the status-sharing comm path, E14 runs every
+// interaction class (so every policy's message traffic is covered).
+var GoldenExperiments = []string{"E6", "E14"}
+
+func main() {
+	dir := "testdata/golden-zero-chaos"
+	if len(os.Args) > 1 {
+		dir = os.Args[1]
+	}
+	var es []coopmrm.Experiment
+	for _, id := range GoldenExperiments {
+		e, ok := coopmrm.ExperimentByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+			os.Exit(1)
+		}
+		es = append(es, e)
+	}
+	results, err := coopmrm.RunSetWithArtifacts(es, coopmrm.Options{Seed: 1, Quick: true}, 1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, res := range results {
+		b := artifact.Bundle{
+			Table: artifact.Table{
+				ID: res.Table.ID, Title: res.Table.Title, Paper: res.Table.Paper,
+				Note: res.Table.Note, Header: res.Table.Header, Rows: res.Table.Rows,
+			},
+			Runs: res.Runs,
+		}
+		if err := artifact.WriteBundle(dir, b); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("wrote golden bundles for %v under %s\n", GoldenExperiments, dir)
+}

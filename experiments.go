@@ -35,7 +35,7 @@ type Experiment struct {
 	Run   func(Options) Table
 }
 
-// AllExperiments returns the full E1..E16 index in order.
+// AllExperiments returns the full E1..E17 index in order.
 func AllExperiments() []Experiment {
 	return []Experiment{
 		{"E1", "Individual MRM/MRC hierarchy with mid-MRM fallback", "Fig. 1a/1b", RunE1},
@@ -54,6 +54,7 @@ func AllExperiments() []Experiment {
 		{"E14", "Every class vs the individual-AV baseline", "Sec. I motivation", RunE14},
 		{"E15", "Autonomous recovery from transient MRCs", "Sec. V future work", RunE15},
 		{"E16", "Fleet-size scale sweep: cooperation payoff per deployment size", "scale extension (deployment-level evaluation)", RunE16},
+		{"E17", "V2X chaos: partition duration x loss x reorder per class", "design: V2X robustness", RunE17},
 	}
 }
 

@@ -15,8 +15,8 @@ func quick() Options { return Options{Quick: true, Seed: 1} }
 
 func TestRegistry(t *testing.T) {
 	es := AllExperiments()
-	if len(es) != 16 {
-		t.Fatalf("experiments = %d, want 16", len(es))
+	if len(es) != 17 {
+		t.Fatalf("experiments = %d, want 17", len(es))
 	}
 	seen := map[string]bool{}
 	for _, e := range es {
@@ -34,7 +34,7 @@ func TestRegistry(t *testing.T) {
 	if _, ok := ExperimentByID("E99"); ok {
 		t.Error("unknown ID should fail")
 	}
-	if len(ExperimentIDs()) != 16 {
+	if len(ExperimentIDs()) != 17 {
 		t.Error("ExperimentIDs wrong")
 	}
 }
@@ -455,6 +455,69 @@ func TestTableCSVAndMarkdown(t *testing.T) {
 	for _, want := range []string{"**T — demo**", "| a | b |", "|---|---|", `x\|y`, "_n_"} {
 		if !strings.Contains(md, want) {
 			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+// E17: chaos campaign shapes. For every interaction class, zero-loss
+// productivity must degrade monotonically with blackout duration, the
+// V2X classes' drop share must grow with it, and the no-comms classes
+// (baseline, choreographed) must be untouched by the partition.
+func TestE17Shape(t *testing.T) {
+	tab := RunE17(quick())
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// Collect the zero-loss, zero-reorder rows per class, in sweep
+	// order (ascending partition duration).
+	type arm struct{ partition, deliveries, dropShare float64 }
+	byClass := map[string][]arm{}
+	var order []string
+	for i, row := range tab.Rows {
+		if tab.Cell(i, 2) != "0" || tab.Cell(i, 3) != "0" {
+			continue
+		}
+		if _, seen := byClass[row[0]]; !seen {
+			order = append(order, row[0])
+		}
+		byClass[row[0]] = append(byClass[row[0]],
+			arm{tab.CellFloat(i, 1), tab.CellFloat(i, 4), tab.CellFloat(i, 6)})
+	}
+	if len(order) != 8 {
+		t.Fatalf("classes = %d (%v), want all 8", len(order), order)
+	}
+	const tol = 0.11 // one unit is 1.0; absorb rounding only
+	for _, class := range order {
+		arms := byClass[class]
+		if len(arms) < 3 {
+			t.Fatalf("%s: %d zero-chaos arms, want the full duration sweep", class, len(arms))
+		}
+		v2x := class != "baseline" && class != "choreographed"
+		for i := 1; i < len(arms); i++ {
+			if arms[i].partition <= arms[i-1].partition {
+				t.Fatalf("%s: durations not ascending: %+v", class, arms)
+			}
+			if arms[i].deliveries > arms[i-1].deliveries+tol {
+				t.Errorf("%s: productivity rose with blackout duration: %v -> %v",
+					class, arms[i-1].deliveries, arms[i].deliveries)
+			}
+			if v2x && arms[i].dropShare < arms[i-1].dropShare {
+				t.Errorf("%s: drop share fell with blackout duration: %v -> %v",
+					class, arms[i-1].dropShare, arms[i].dropShare)
+			}
+			if !v2x {
+				if arms[i].deliveries != arms[0].deliveries {
+					t.Errorf("%s: partition changed a no-comms class: %+v", class, arms)
+				}
+				if arms[i].dropShare != 0 {
+					t.Errorf("%s: no-comms class dropped messages: %+v", class, arms)
+				}
+			}
+		}
+		// The longest blackout must hurt the V2X classes for real, not
+		// just within tolerance (locks the experiment's signal).
+		if v2x && !(arms[len(arms)-1].deliveries < arms[0].deliveries) {
+			t.Errorf("%s: longest blackout did not reduce productivity: %+v", class, arms)
 		}
 	}
 }

@@ -1,0 +1,114 @@
+package coopmrm
+
+import (
+	"bytes"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"coopmrm/internal/artifact"
+)
+
+// goldenExperiments mirrors cmd/goldenbundles: E6 covers the
+// status-sharing comm path, E14 every interaction class.
+var goldenExperiments = []string{"E6", "E14"}
+
+// The differential guarantee of the chaos-hardened comm stack: with
+// every chaos knob at zero (no reorder, no duplication, no partitions)
+// the experiments must reproduce the PRE-change artifact bundles
+// byte for byte. The goldens under testdata/golden-zero-chaos were
+// generated at the commit before the delivery-time re-check landed;
+// a diff here means the "fix" changed healthy-channel behaviour, not
+// just faulty-channel behaviour. Regenerate via cmd/goldenbundles only
+// for an intentional, documented behaviour change.
+func TestZeroChaosBundlesMatchGolden(t *testing.T) {
+	goldenDir := filepath.Join("testdata", "golden-zero-chaos")
+	if _, err := os.Stat(goldenDir); err != nil {
+		t.Fatalf("golden bundles missing: %v (run go run ./cmd/goldenbundles)", err)
+	}
+
+	var es []Experiment
+	for _, id := range goldenExperiments {
+		e, ok := ExperimentByID(id)
+		if !ok {
+			t.Fatalf("unknown golden experiment %q", id)
+		}
+		es = append(es, e)
+	}
+	results, err := RunSetWithArtifacts(es, Options{Seed: 1, Quick: true}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotDir := t.TempDir()
+	for _, res := range results {
+		b := artifact.Bundle{
+			Table: artifact.Table{
+				ID: res.Table.ID, Title: res.Table.Title, Paper: res.Table.Paper,
+				Note: res.Table.Note, Header: res.Table.Header, Rows: res.Table.Rows,
+			},
+			Runs: res.Runs,
+		}
+		if err := artifact.WriteBundle(gotDir, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	wantFiles := listFiles(t, goldenDir)
+	gotFiles := listFiles(t, gotDir)
+	if len(wantFiles) == 0 {
+		t.Fatal("golden directory is empty")
+	}
+	// Same file sets in both directions: a bundle gaining or losing a
+	// file is as much a drift as changed bytes.
+	for _, f := range gotFiles {
+		if _, ok := find(wantFiles, f); !ok {
+			t.Errorf("extra file not in golden: %s", f)
+		}
+	}
+	for _, f := range wantFiles {
+		if _, ok := find(gotFiles, f); !ok {
+			t.Errorf("golden file not regenerated: %s", f)
+			continue
+		}
+		want, err := os.ReadFile(filepath.Join(goldenDir, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(gotDir, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: bytes differ from the pre-change golden (%d vs %d bytes)",
+				f, len(got), len(want))
+		}
+	}
+}
+
+func listFiles(t *testing.T, root string) []string {
+	t.Helper()
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		out = append(out, filepath.ToSlash(rel))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func find(sorted []string, s string) (int, bool) {
+	i := sort.SearchStrings(sorted, s)
+	return i, i < len(sorted) && sorted[i] == s
+}

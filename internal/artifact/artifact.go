@@ -74,10 +74,16 @@ func CaptureMetrics(r metrics.Report) Metrics {
 
 // CommStats is the network delivery accounting of one run.
 type CommStats struct {
-	Sent      int64    `json:"sent"`
-	Dropped   int64    `json:"dropped"`
-	Pending   int      `json:"pending"`
-	Endpoints []string `json:"endpoints,omitempty"`
+	Sent    int64 `json:"sent"`
+	Dropped int64 `json:"dropped"`
+	// DroppedBy attributes the drops per cause (unregistered,
+	// node_down, link_down, loss, self); zero-count causes are
+	// omitted, and the map is absent entirely when nothing was
+	// dropped — a zero-chaos run's bundle stays byte-identical to the
+	// pre-chaos schema.
+	DroppedBy map[string]int64 `json:"dropped_by,omitempty"`
+	Pending   int              `json:"pending"`
+	Endpoints []string         `json:"endpoints,omitempty"`
 }
 
 // CaptureComm snapshots a network's accounting (nil-safe).
@@ -86,12 +92,31 @@ func CaptureComm(n *comm.Network) *CommStats {
 		return nil
 	}
 	sent, dropped := n.Stats()
-	return &CommStats{
+	stats := &CommStats{
 		Sent:      sent,
 		Dropped:   dropped,
 		Pending:   n.Pending(),
 		Endpoints: n.Endpoints(),
 	}
+	if dropped > 0 {
+		b := n.StatsBreakdown()
+		stats.DroppedBy = make(map[string]int64)
+		for _, c := range []struct {
+			name string
+			v    int64
+		}{
+			{"unregistered", b.Unregistered},
+			{"node_down", b.NodeDown},
+			{"link_down", b.LinkDown},
+			{"loss", b.Loss},
+			{"self", b.Self},
+		} {
+			if c.v > 0 {
+				stats.DroppedBy[c.name] = c.v
+			}
+		}
+	}
+	return stats
 }
 
 // FaultRecord is one injected fault in the wire form.

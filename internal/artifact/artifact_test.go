@@ -124,6 +124,9 @@ const goldenRuns = `{
       "comm": {
         "sent": 2,
         "dropped": 1,
+        "dropped_by": {
+          "unregistered": 1
+        },
         "pending": 0,
         "endpoints": [
           "truck1",

@@ -54,8 +54,17 @@ type Choreographed struct {
 	// AlternateAvoid is the predetermined node dropped from routes in
 	// alternate mode.
 	AlternateAvoid string
+	// Reentry, when true, enables the designed-in recovery rule for
+	// the alternate-route response: if the overdue member checks in
+	// again after the response fired (it was delayed, not dead), the
+	// member reverts to the main route and re-arms the watchdog. The
+	// halt response never re-enters — a designed global MRC needs user
+	// intervention, per the paper's definitions.
+	Reentry bool
 
 	triggered     bool
+	overdue       string
+	triggeredAt   time.Duration
 	lastDelivered float64
 }
 
@@ -94,6 +103,7 @@ func (p *Choreographed) Step(env *sim.Env) {
 		p.RecordCheckIn(now)
 	}
 	if p.triggered {
+		p.maybeReenter(env, now)
 		return
 	}
 	for _, id := range p.Watch {
@@ -102,14 +112,38 @@ func (p *Choreographed) Step(env *sim.Env) {
 			last = 0 // design grants one full deadline from start
 		}
 		if now-last > p.Deadline {
-			p.trigger(env, id)
+			p.trigger(env, now, id)
 			return
 		}
 	}
 }
 
-func (p *Choreographed) trigger(env *sim.Env, overdue string) {
+// maybeReenter applies the designed re-entry rule: an alternate-route
+// response is undone (and the watchdog re-armed) when the overdue
+// member has checked in again since the response fired.
+func (p *Choreographed) maybeReenter(env *sim.Env, now time.Duration) {
+	if !p.Reentry || p.Response == ResponseHalt {
+		return
+	}
+	last, ok := p.board.Last(p.overdue)
+	if !ok || last <= p.triggeredAt {
+		return
+	}
+	if p.AlternateAvoid != "" {
+		p.haul.Unavoid(p.AlternateAvoid)
+	}
+	c := p.haul.Constituent()
+	env.EmitFields(sim.EventInfo, c.ID(),
+		"designed re-entry: "+p.overdue+" checked in again, main route restored",
+		map[string]string{"overdue": p.overdue})
+	p.triggered = false
+	p.overdue = ""
+}
+
+func (p *Choreographed) trigger(env *sim.Env, now time.Duration, overdue string) {
 	p.triggered = true
+	p.overdue = overdue
+	p.triggeredAt = now
 	c := p.haul.Constituent()
 	switch p.Response {
 	case ResponseHalt:

@@ -8,7 +8,11 @@ import (
 	"coopmrm/internal/sim"
 )
 
-// NetConfig configures the simulated radio network.
+// NetConfig configures the simulated radio network. The zero value is
+// a perfect instantaneous channel; every knob degrades it
+// independently, and a config with LossProb, ReorderProb, DupProb all
+// zero and no Partitions behaves exactly like the pre-chaos network
+// (it consumes the same RNG stream, so runs are byte-identical).
 type NetConfig struct {
 	// Latency is the base one-way delivery delay.
 	Latency time.Duration
@@ -16,10 +20,135 @@ type NetConfig struct {
 	Jitter time.Duration
 	// LossProb is the probability a message is silently dropped.
 	LossProb float64
+	// ReorderProb is the probability one scheduled delivery is held
+	// back by an extra random delay in (0, ReorderWindow], letting
+	// later-sent messages overtake it.
+	ReorderProb float64
+	// ReorderWindow bounds the extra reorder delay. Defaults to
+	// DefaultReorderWindow when ReorderProb > 0 and the window is
+	// unset.
+	ReorderWindow time.Duration
+	// DupProb is the probability one scheduled delivery is duplicated:
+	// the copy carries the same Seq and payload but draws its own
+	// jitter (and reorder) delay, so the two copies can arrive in any
+	// order. The duplicate counts as an extra attempted delivery in
+	// Stats, keeping delivered + dropped == sent.
+	DupProb float64
+	// Partitions are scheduled outage windows applied on the network
+	// clock: a message is dropped when its link (or an endpoint's
+	// radio) is inside a window either when it is sent or when it
+	// would arrive.
+	Partitions []Partition
+}
+
+// DefaultReorderWindow is the extra-delay bound used when ReorderProb
+// is set but ReorderWindow is not.
+const DefaultReorderWindow = 500 * time.Millisecond
+
+// Validate reports configuration errors: probabilities outside [0, 1],
+// negative delays, or malformed partition windows.
+func (c NetConfig) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"LossProb", c.LossProb},
+		{"ReorderProb", c.ReorderProb},
+		{"DupProb", c.DupProb},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("comm: %s %v out of [0,1]", p.name, p.v)
+		}
+	}
+	if c.Latency < 0 || c.Jitter < 0 || c.ReorderWindow < 0 {
+		return fmt.Errorf("comm: negative delay in config")
+	}
+	for _, w := range c.Partitions {
+		if err := w.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Partition is one scheduled communication outage window, active for
+// From <= t < Until on the network clock. A and B name the endpoints
+// of the partitioned link; PartitionAny ("*") is a wildcard matching
+// every endpoint, and an empty B is normalised to the wildcard, so
+// {A: "truck1"} takes truck1's radio offline for the window and
+// {A: "*", B: "*"} is a global blackout. Matching ignores direction.
+type Partition struct {
+	A, B  string
+	From  time.Duration
+	Until time.Duration
+}
+
+// PartitionAny is the wildcard endpoint of a Partition.
+const PartitionAny = "*"
+
+// Validate reports malformed windows.
+func (p Partition) Validate() error {
+	if p.A == "" {
+		return fmt.Errorf("comm: partition window with empty A endpoint")
+	}
+	if p.Until <= p.From {
+		return fmt.Errorf("comm: partition window [%v, %v) is empty", p.From, p.Until)
+	}
+	return nil
+}
+
+// blocks reports whether the window severs the directed attempt
+// from -> to at time t.
+func (p Partition) blocks(from, to string, t time.Duration) bool {
+	if t < p.From || t >= p.Until {
+		return false
+	}
+	b := p.B
+	if b == "" {
+		b = PartitionAny
+	}
+	match := func(pat, id string) bool { return pat == PartitionAny || pat == id }
+	return (match(p.A, from) && match(b, to)) || (match(p.A, to) && match(b, from))
+}
+
+// DropCause classifies one failed delivery attempt.
+type DropCause int
+
+// Drop causes, in the order of the Breakdown fields.
+const (
+	// DropUnregistered: the recipient has no inbox.
+	DropUnregistered DropCause = iota
+	// DropNodeDown: the sender's or recipient's radio was offline — at
+	// send time, or (recipient only) when the message would arrive.
+	DropNodeDown
+	// DropLinkDown: the pair was partitioned (SetLinkDown or a
+	// scheduled Partition window) at send or arrival time.
+	DropLinkDown
+	// DropLoss: random channel loss (LossProb).
+	DropLoss
+	// DropSelf: a unicast addressed to its own sender.
+	DropSelf
+	numDropCauses
+)
+
+// Breakdown is the per-cause drop accounting. The fields sum exactly
+// to the dropped total of Stats.
+type Breakdown struct {
+	Unregistered int64
+	NodeDown     int64
+	LinkDown     int64
+	Loss         int64
+	Self         int64
+}
+
+// Total returns the sum over all causes (== Stats dropped).
+func (b Breakdown) Total() int64 {
+	return b.Unregistered + b.NodeDown + b.LinkDown + b.Loss + b.Self
 }
 
 // Network is the shared medium. Endpoints register by constituent ID;
-// Deliver moves due messages into inboxes each tick.
+// Deliver moves due messages into inboxes each tick, re-checking node
+// and link state at arrival time.
 type Network struct {
 	cfg       NetConfig
 	rng       *sim.RNG
@@ -32,8 +161,9 @@ type Network struct {
 	downNode  map[string]bool
 	downLink  map[[2]string]bool
 
-	sent    int64
-	dropped int64
+	sent      int64
+	dropped   int64
+	droppedBy [numDropCauses]int64
 }
 
 type envelope struct {
@@ -42,8 +172,17 @@ type envelope struct {
 	deliverAt time.Duration
 }
 
-// NewNetwork returns a network using the given RNG for jitter/loss.
+// NewNetwork returns a network using the given RNG for jitter, loss,
+// reorder, and duplication draws. Panics on an invalid config
+// (Validate), mirroring MustRegister: a malformed channel model is a
+// programming error, not a runtime condition.
 func NewNetwork(cfg NetConfig, rng *sim.RNG) *Network {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.ReorderProb > 0 && cfg.ReorderWindow == 0 {
+		cfg.ReorderWindow = DefaultReorderWindow
+	}
 	return &Network{
 		cfg:      cfg,
 		rng:      rng,
@@ -81,7 +220,9 @@ func (n *Network) Endpoints() []string {
 	return out
 }
 
-// SetNodeDown takes a node's radio offline (both directions).
+// SetNodeDown takes a node's radio offline (both directions). Messages
+// already in transit towards the node are dropped when they arrive —
+// a radio that is dead at receipt cannot receive.
 func (n *Network) SetNodeDown(id string, down bool) {
 	if down {
 		n.downNode[id] = true
@@ -93,7 +234,8 @@ func (n *Network) SetNodeDown(id string, down bool) {
 // NodeDown reports whether a node's radio is offline.
 func (n *Network) NodeDown(id string) bool { return n.downNode[id] }
 
-// SetLinkDown partitions the pair (both directions).
+// SetLinkDown partitions the pair (both directions). Messages already
+// in transit across the link are dropped when they arrive.
 func (n *Network) SetLinkDown(a, b string, down bool) {
 	if down {
 		n.downLink[[2]string{a, b}] = true
@@ -104,11 +246,33 @@ func (n *Network) SetLinkDown(a, b string, down bool) {
 	}
 }
 
+// drop accounts one failed delivery attempt.
+func (n *Network) drop(cause DropCause) {
+	n.dropped++
+	n.droppedBy[cause]++
+}
+
+// partitioned reports whether a scheduled Partition window severs the
+// attempt from -> to at time t.
+func (n *Network) partitioned(from, to string, t time.Duration) bool {
+	for _, w := range n.cfg.Partitions {
+		if w.blocks(from, to, t) {
+			return true
+		}
+	}
+	return false
+}
+
 // Send queues a message for delivery. Broadcast fans out to every
 // registered endpoint except the sender. Returns the assigned Seq.
-// Sending from an unregistered or downed node, or to an unregistered
-// endpoint, silently drops (the radio is dead; the sender cannot
-// know) — but every attempted delivery is accounted in Stats.
+//
+// Contract: a unicast with To == From is rejected — the radio is not a
+// loopback device, and self-addressed traffic almost always indicates
+// a wiring bug — but the attempt is accounted (one sent, one dropped,
+// cause Self) so it stays visible in Stats. Sending from an
+// unregistered or downed node, or to an unregistered endpoint,
+// silently drops (the radio is dead; the sender cannot know) — every
+// attempted delivery is accounted in Stats either way.
 func (n *Network) Send(m Message) int64 {
 	now := n.Now()
 	n.seq++
@@ -117,25 +281,51 @@ func (n *Network) Send(m Message) int64 {
 	recipients := n.recipients(m)
 	n.sent += int64(len(recipients))
 	for _, to := range recipients {
-		if _, registered := n.inbox[to]; !registered {
-			n.dropped++
+		if to == m.From {
+			n.drop(DropSelf)
 			continue
 		}
-		if n.downNode[m.From] || n.downNode[to] || n.downLink[[2]string{m.From, to}] {
-			n.dropped++
+		if _, registered := n.inbox[to]; !registered {
+			n.drop(DropUnregistered)
+			continue
+		}
+		if n.downNode[m.From] || n.downNode[to] {
+			n.drop(DropNodeDown)
+			continue
+		}
+		if n.downLink[[2]string{m.From, to}] || n.partitioned(m.From, to, now) {
+			n.drop(DropLinkDown)
 			continue
 		}
 		if n.cfg.LossProb > 0 && n.rng.Bool(n.cfg.LossProb) {
-			n.dropped++
+			n.drop(DropLoss)
 			continue
 		}
-		delay := n.cfg.Latency
-		if n.cfg.Jitter > 0 {
-			delay += time.Duration(n.rng.Range(0, float64(n.cfg.Jitter)))
+		n.inTransit = append(n.inTransit, envelope{msg: m, to: to, deliverAt: now + n.delay()})
+		if n.cfg.DupProb > 0 && n.rng.Bool(n.cfg.DupProb) {
+			// The duplicate is an extra attempted delivery with its
+			// own delay draws, so the copies can arrive in any order.
+			n.sent++
+			n.inTransit = append(n.inTransit, envelope{msg: m, to: to, deliverAt: now + n.delay()})
 		}
-		n.inTransit = append(n.inTransit, envelope{msg: m, to: to, deliverAt: now + delay})
 	}
 	return m.Seq
+}
+
+// delay draws one delivery delay: base latency, plus jitter, plus —
+// with probability ReorderProb — an extra hold-back in
+// (0, ReorderWindow]. The draws happen only when the matching knob is
+// enabled, so a zero-chaos config consumes exactly the pre-chaos RNG
+// stream.
+func (n *Network) delay() time.Duration {
+	d := n.cfg.Latency
+	if n.cfg.Jitter > 0 {
+		d += time.Duration(n.rng.Range(0, float64(n.cfg.Jitter)))
+	}
+	if n.cfg.ReorderProb > 0 && n.rng.Bool(n.cfg.ReorderProb) {
+		d += time.Duration(n.rng.Range(0, float64(n.cfg.ReorderWindow)))
+	}
+	return d
 }
 
 // Now returns the network's view of the current time: the attached
@@ -160,9 +350,9 @@ func (n *Network) Now() time.Duration {
 func (n *Network) AttachClock(now func() time.Duration) { n.nowFn = now }
 
 // recipients lists the intended delivery attempts of m: the named
-// endpoint for a unicast (even if unregistered — Send accounts it as a
-// drop), or every registered endpoint except the sender for a
-// broadcast.
+// endpoint for a unicast (even if unregistered or the sender itself —
+// Send accounts those as drops), or every registered endpoint except
+// the sender for a broadcast.
 func (n *Network) recipients(m Message) []string {
 	if m.To != Broadcast {
 		return []string{m.To}
@@ -181,7 +371,12 @@ func (n *Network) recipients(m Message) []string {
 
 // Deliver advances the network clock to now and moves due messages to
 // inboxes in deterministic order (deliverAt, then Seq, then
-// recipient).
+// recipient). Every due envelope is re-checked against node and link
+// state at its scheduled arrival instant: a recipient whose radio died
+// after the send, a link partitioned mid-flight, or a scheduled
+// Partition window covering the arrival all drop the message (the
+// sender's state no longer matters — the datagram already left its
+// radio). Drops are accounted per cause in StatsBreakdown.
 func (n *Network) Deliver(now time.Duration) {
 	n.now = now
 	var due, later []envelope
@@ -203,7 +398,14 @@ func (n *Network) Deliver(now time.Duration) {
 		return due[i].to < due[j].to
 	})
 	for _, e := range due {
-		n.inbox[e.to] = append(n.inbox[e.to], e.msg)
+		switch {
+		case n.downNode[e.to]:
+			n.drop(DropNodeDown)
+		case n.downLink[[2]string{e.msg.From, e.to}] || n.partitioned(e.msg.From, e.to, e.deliverAt):
+			n.drop(DropLinkDown)
+		default:
+			n.inbox[e.to] = append(n.inbox[e.to], e.msg)
+		}
 	}
 }
 
@@ -218,10 +420,25 @@ func (n *Network) Receive(id string) []Message {
 func (n *Network) Pending() int { return len(n.inTransit) }
 
 // Stats returns per-recipient delivery accounting: sent counts every
-// attempted delivery (a broadcast to k recipients counts k), dropped
-// counts the attempts that failed (downed node or link, random loss,
-// unregistered recipient). Invariant: 0 <= dropped <= sent.
+// attempted delivery (a broadcast to k recipients counts k, and a
+// chaos duplicate counts one extra), dropped counts the attempts that
+// failed — at send time or at arrival time. Invariants:
+// 0 <= dropped <= sent, and delivered + dropped + in-transit == sent.
 func (n *Network) Stats() (sent, dropped int64) { return n.sent, n.dropped }
+
+// StatsBreakdown returns the per-cause drop accounting. The field sum
+// equals the dropped total of Stats, so chaos experiments can
+// attribute every lost message to unregistered addressing, dead
+// radios, severed links, random loss, or self-addressing.
+func (n *Network) StatsBreakdown() Breakdown {
+	return Breakdown{
+		Unregistered: n.droppedBy[DropUnregistered],
+		NodeDown:     n.droppedBy[DropNodeDown],
+		LinkDown:     n.droppedBy[DropLinkDown],
+		Loss:         n.droppedBy[DropLoss],
+		Self:         n.droppedBy[DropSelf],
+	}
+}
 
 // Hook returns a sim pre-step hook that delivers due messages each
 // tick. It also attaches the engine clock so Send stamps messages with

@@ -1,6 +1,7 @@
 package coop
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 	"time"
@@ -24,8 +25,17 @@ type AgreementSeeking struct {
 	base *Base
 	// Peers are the cooperating vehicles' IDs (excluding self).
 	Peers []string
-	// AckTimeout bounds the wait for gap responses.
+	// AckTimeout bounds the wait for gap responses on the first
+	// attempt; later attempts back off by RetryBackoff.
 	AckTimeout time.Duration
+	// RetryBackoff multiplies the ack wait after every timed-out
+	// attempt (default 2).
+	RetryBackoff float64
+	// MaxAttempts bounds the gap-request sends before the policy gives
+	// up and falls back (default 3). The give-up instant is
+	// deterministic: the sum of every attempt's timeout after the
+	// first request.
+	MaxAttempts int
 	// HelpSpeed is the bound a consenting helper adopts.
 	HelpSpeed float64
 	// HelpFor bounds how long a helper assists without seeing the
@@ -38,9 +48,7 @@ type AgreementSeeking struct {
 
 	// initiator state
 	pendingReason string
-	requested     bool
-	deadline      time.Duration
-	acks          map[string]bool
+	exchange      *Exchange
 	granted       bool
 
 	// helper state
@@ -59,15 +67,16 @@ var _ sim.Entity = (*AgreementSeeking)(nil)
 // defers internally assessed MRMs until agreement (or timeout).
 func NewAgreementSeeking(base *Base, peers []string) *AgreementSeeking {
 	s := &AgreementSeeking{
-		base:        base,
-		Peers:       append([]string(nil), peers...),
-		AckTimeout:  3 * time.Second,
-		HelpSpeed:   2,
-		HelpFor:     90 * time.Second,
-		FallbackMRC: "in_place",
-		EvacMRC:     "parking",
-		acks:        make(map[string]bool),
-		peerInMRC:   make(map[string]bool),
+		base:         base,
+		Peers:        append([]string(nil), peers...),
+		AckTimeout:   3 * time.Second,
+		RetryBackoff: 2,
+		MaxAttempts:  3,
+		HelpSpeed:    2,
+		HelpFor:      90 * time.Second,
+		FallbackMRC:  "in_place",
+		EvacMRC:      "parking",
+		peerInMRC:    make(map[string]bool),
 	}
 	base.C().MRMGate = func(c *core.Constituent, reason string) bool {
 		if s.granted {
@@ -140,7 +149,9 @@ func (s *AgreementSeeking) Step(env *sim.Env) {
 		case comm.TopicGapRequest:
 			s.handleGapRequest(env, m)
 		case comm.TopicGapResponse:
-			s.acks[m.From] = m.Get(comm.KeyAck) == "true"
+			if s.exchange != nil {
+				s.exchange.Ack(m.From, m.Get(comm.KeyAck) == "true")
+			}
 		case comm.TopicEvacuate:
 			if !s.evacuating {
 				s.startEvacuation(env)
@@ -175,37 +186,57 @@ func (s *AgreementSeeking) stopHelping() {
 	s.helpingFor = ""
 }
 
+// stepInitiator drives the gap request through the shared
+// ack/timeout/retry primitive: send, await consent, resend with
+// backoff, and — after the deterministic give-up instant — fall back
+// down the Fig. 1b hierarchy to the conservative MRC. A vehicle whose
+// own radio is known-dead skips the doomed exchange entirely: without
+// comms no consent can ever arrive, so the designed-in rule is the
+// immediate conservative stop.
 func (s *AgreementSeeking) stepInitiator(env *sim.Env) {
 	c := s.base.C()
 	if s.pendingReason == "" || s.granted {
 		return
 	}
 	now := env.Clock.Now()
-	if !s.requested {
-		s.requested = true
-		s.deadline = now + s.AckTimeout
-		s.base.Net.Send(comm.NewMessage(c.ID(), comm.Broadcast, comm.TypeRequest,
-			comm.TopicGapRequest, map[string]string{comm.KeyReason: s.pendingReason}))
+	if !c.CommUp() {
+		s.granted = true
+		s.exchange = nil
+		c.TriggerMRMTo(env, s.FallbackMRC, s.pendingReason+" (no comms)")
+		return
+	}
+	if s.exchange == nil {
+		s.exchange = NewExchange(RetryPolicy{
+			Timeout: s.AckTimeout, Backoff: s.RetryBackoff, MaxAttempts: s.MaxAttempts,
+		})
+		s.exchange.Begin(now, s.Peers)
+		s.sendGapRequest(c.ID())
 		env.Emit(sim.EventInfo, c.ID(), "requested gap: "+s.pendingReason)
 		return
 	}
-	allAcked := len(s.Peers) > 0
-	for _, p := range s.Peers {
-		if !s.acks[p] {
-			allAcked = false
-			break
-		}
-	}
-	switch {
-	case allAcked:
+	if s.exchange.Complete() {
 		s.granted = true
 		env.EmitFields(sim.EventMRMConcerted, c.ID(), "gap granted by all peers",
 			map[string]string{"helpers": strings.Join(s.Peers, ",")})
 		c.TriggerMRM(env, s.pendingReason+" (agreed)")
-	case now >= s.deadline:
+		return
+	}
+	switch s.exchange.Poll(now) {
+	case OutcomeResend:
+		s.sendGapRequest(c.ID())
+		env.EmitFields(sim.EventInfo, c.ID(),
+			fmt.Sprintf("gap request retry (attempt %d)", s.exchange.Attempt()),
+			map[string]string{"outstanding": strings.Join(s.exchange.Outstanding(), ",")})
+	case OutcomeExpired:
 		s.granted = true
 		c.TriggerMRMTo(env, s.FallbackMRC, s.pendingReason+" (no agreement)")
 	}
+}
+
+// sendGapRequest broadcasts the gap request for the pending reason.
+func (s *AgreementSeeking) sendGapRequest(from string) {
+	s.base.Net.Send(comm.NewMessage(from, comm.Broadcast, comm.TypeRequest,
+		comm.TopicGapRequest, map[string]string{comm.KeyReason: s.pendingReason}))
 }
 
 func (s *AgreementSeeking) stepEvacuation(env *sim.Env) {

@@ -267,7 +267,9 @@ func TestAgreementTimeoutFallsBack(t *testing.T) {
 	if r.trucks[0].SpeedCap() > 2 {
 		t.Errorf("deferred vehicle should crawl, cap = %v", r.trucks[0].SpeedCap())
 	}
-	r.e.RunFor(10 * time.Second)
+	// The retry schedule is deterministic: 5s + 10s + 20s of attempt
+	// timeouts before the give-up instant, so run well past 35s.
+	r.e.RunFor(40 * time.Second)
 	if !r.trucks[0].MRMActive() && !r.trucks[0].InMRC() {
 		t.Fatal("fallback MRM should trigger after timeout")
 	}

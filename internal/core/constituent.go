@@ -151,7 +151,22 @@ type Constituent struct {
 	// classes requesting a gap first); the gate is re-consulted every
 	// tick until it allows or the policy triggers the MRM itself.
 	MRMGate func(c *Constituent, reason string) bool
+	// GateTimeout is the designed-in bound on how long an MRM may stay
+	// deferred by MRMGate: if the gate still refuses after this long,
+	// the MRM triggers anyway (reason suffixed "(gate timeout)"). This
+	// is the vehicle-level safety net under the coordinating policies —
+	// a policy that dies, partitions away, or mis-retries must not
+	// defer the manoeuvre forever. Defaults to DefaultGateTimeout;
+	// negative disables the watchdog.
+	GateTimeout time.Duration
+	gatedSince  time.Duration // -1 when not currently gated
 }
+
+// DefaultGateTimeout is the default MRMGate watchdog bound. It is far
+// above any healthy coordination round (the agreement-seeking class
+// gives up after ~21s with default retry settings) so it only fires
+// when the coordinating policy itself has failed.
+const DefaultGateTimeout = 60 * time.Second
 
 var (
 	_ sim.Entity    = (*Constituent)(nil)
@@ -198,6 +213,8 @@ func NewConstituent(cfg Config) (*Constituent, error) {
 		locUp:        true,
 		speedCap:     cfg.Spec.MaxSpeed,
 		assistCap:    -1,
+		GateTimeout:  DefaultGateTimeout,
+		gatedSince:   -1,
 	}
 	return c, nil
 }
@@ -482,12 +499,24 @@ func (c *Constituent) stepOperational(env *sim.Env, caps vehicle.Capabilities, o
 	switch assessment.Kind {
 	case AssessRequireMRM:
 		if c.MRMGate != nil && !c.MRMGate(c, assessment.Reason) {
+			now := env.Clock.Now()
+			if c.gatedSince < 0 {
+				c.gatedSince = now
+			}
+			if c.GateTimeout >= 0 && now-c.gatedSince >= c.GateTimeout {
+				// Designed-in watchdog: the coordinating policy has
+				// deferred the MRM for too long — trigger anyway.
+				c.gatedSince = -1
+				c.TriggerMRM(env, assessment.Reason+" (gate timeout)")
+				return
+			}
 			// Deferred by the policy: crawl while it coordinates.
 			if c.speedCap > 2 {
 				c.speedCap = 2
 			}
 			return
 		}
+		c.gatedSince = -1
 		c.TriggerMRM(env, assessment.Reason)
 	case AssessDegradedTemporary, AssessDegradedPermanent:
 		if c.mode != ModeDegraded {

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"coopmrm/internal/fault"
+)
+
+// The gate watchdog: a policy that defers an internally assessed MRM
+// forever (dead, partitioned away, mis-retrying) must not hold the
+// vehicle in the crawl state past GateTimeout — the MRM triggers
+// anyway, reason suffixed "(gate timeout)".
+func TestGateWatchdogFires(t *testing.T) {
+	e, c, _ := newRig(t)
+	c.MRMGate = func(*Constituent, string) bool { return false } // a policy that never decides
+	c.GateTimeout = 5 * time.Second
+	e.RunFor(time.Second)
+	c.ApplyFault(fault.Fault{ID: "blind", Target: "truck1", Kind: fault.KindSensor,
+		Severity: 1, Permanent: true})
+	e.RunFor(3 * time.Second)
+	if c.MRMActive() || c.InMRC() {
+		t.Fatal("MRM should still be deferred inside the window")
+	}
+	if c.SpeedCap() > 2 {
+		t.Errorf("deferred vehicle should crawl, cap = %v", c.SpeedCap())
+	}
+	e.RunFor(5 * time.Second)
+	if !c.MRMActive() && !c.InMRC() {
+		t.Fatal("watchdog should trigger the MRM past GateTimeout")
+	}
+	if got := c.MRMReason(); !strings.Contains(got, "gate timeout") {
+		t.Errorf("reason = %q, want gate-timeout suffix", got)
+	}
+}
+
+// A negative GateTimeout disables the watchdog: the gate defers
+// indefinitely (the pre-watchdog behaviour, for policies that own
+// their whole timeout budget).
+func TestGateWatchdogDisabled(t *testing.T) {
+	e, c, _ := newRig(t)
+	c.MRMGate = func(*Constituent, string) bool { return false }
+	c.GateTimeout = -1
+	c.ApplyFault(fault.Fault{ID: "blind", Target: "truck1", Kind: fault.KindSensor,
+		Severity: 1, Permanent: true})
+	e.RunFor(2 * time.Minute)
+	if c.MRMActive() || c.InMRC() {
+		t.Fatal("disabled watchdog must never force the MRM")
+	}
+}
+
+// The watchdog clock resets when the gate opens: a grant right before
+// the deadline triggers with the policy's reason, not the watchdog's.
+func TestGateGrantBeatsWatchdog(t *testing.T) {
+	e, c, _ := newRig(t)
+	allow := false
+	c.MRMGate = func(*Constituent, string) bool { return allow }
+	c.GateTimeout = 10 * time.Second
+	c.ApplyFault(fault.Fault{ID: "blind", Target: "truck1", Kind: fault.KindSensor,
+		Severity: 1, Permanent: true})
+	e.RunFor(5 * time.Second)
+	allow = true
+	e.RunFor(time.Second)
+	if !c.MRMActive() && !c.InMRC() {
+		t.Fatal("granted MRM should trigger")
+	}
+	if got := c.MRMReason(); strings.Contains(got, "gate timeout") {
+		t.Errorf("reason = %q; the grant should win, not the watchdog", got)
+	}
+}

@@ -1,0 +1,196 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"coopmrm/internal/sim"
+)
+
+// LinkController is the subset of the comm network the partition
+// machinery drives. Kept as an interface so the fault package stays
+// decoupled from the comm wire model (and tests can observe toggles).
+type LinkController interface {
+	// SetNodeDown takes a node's radio offline (both directions).
+	SetNodeDown(id string, down bool)
+	// SetLinkDown partitions the pair (both directions).
+	SetLinkDown(a, b string, down bool)
+}
+
+// PartitionWindow is one scheduled communication outage on the engine
+// clock, active for From <= t < Until. B == "" means a node outage
+// (A's radio goes down for the window); otherwise the A–B link is
+// severed. Overlapping windows on the same element are refcounted, so
+// one window ending never heals an element another window still
+// covers.
+type PartitionWindow struct {
+	A, B  string
+	From  time.Duration
+	Until time.Duration
+}
+
+// Validate reports malformed windows.
+func (w PartitionWindow) Validate() error {
+	if w.A == "" {
+		return fmt.Errorf("fault: partition window with empty A endpoint")
+	}
+	if w.Until <= w.From {
+		return fmt.Errorf("fault: partition window [%v, %v) is empty", w.From, w.Until)
+	}
+	return nil
+}
+
+// node reports whether the window is a node outage.
+func (w PartitionWindow) node() bool { return w.B == "" }
+
+// key returns the canonical element the window toggles.
+func (w PartitionWindow) key() [2]string {
+	if w.node() {
+		return [2]string{w.A, ""}
+	}
+	if w.B < w.A {
+		return [2]string{w.B, w.A}
+	}
+	return [2]string{w.A, w.B}
+}
+
+// PartitionSchedule applies scheduled partition windows to a link
+// controller as simulated time advances: entering a window takes the
+// element down, leaving the last window covering it brings it back up.
+// Deterministic for a given schedule and step sequence.
+type PartitionSchedule struct {
+	ctl     LinkController
+	windows []PartitionWindow
+	active  []bool
+	depth   map[[2]string]int
+}
+
+// NewPartitionSchedule validates the windows and returns the schedule.
+func NewPartitionSchedule(ctl LinkController, windows ...PartitionWindow) (*PartitionSchedule, error) {
+	for _, w := range windows {
+		if err := w.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	ws := append([]PartitionWindow(nil), windows...)
+	sort.SliceStable(ws, func(i, j int) bool { return ws[i].From < ws[j].From })
+	return &PartitionSchedule{
+		ctl:     ctl,
+		windows: ws,
+		active:  make([]bool, len(ws)),
+		depth:   make(map[[2]string]int),
+	}, nil
+}
+
+// MustPartitionSchedule is NewPartitionSchedule that panics on error.
+func MustPartitionSchedule(ctl LinkController, windows ...PartitionWindow) *PartitionSchedule {
+	s, err := NewPartitionSchedule(ctl, windows...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Step toggles every window whose active state changed at now.
+func (s *PartitionSchedule) Step(now time.Duration) {
+	for i, w := range s.windows {
+		act := now >= w.From && now < w.Until
+		if act == s.active[i] {
+			continue
+		}
+		s.active[i] = act
+		k := w.key()
+		if act {
+			s.depth[k]++
+			if s.depth[k] == 1 {
+				s.set(w, true)
+			}
+		} else {
+			s.depth[k]--
+			if s.depth[k] == 0 {
+				s.set(w, false)
+			}
+		}
+	}
+}
+
+func (s *PartitionSchedule) set(w PartitionWindow, down bool) {
+	if w.node() {
+		s.ctl.SetNodeDown(w.A, down)
+	} else {
+		s.ctl.SetLinkDown(w.A, w.B, down)
+	}
+}
+
+// ActiveCount returns the number of currently active windows.
+func (s *PartitionSchedule) ActiveCount() int {
+	n := 0
+	for _, a := range s.active {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// Hook returns a sim pre-step hook that applies due toggles each tick.
+// Register it before the network's delivery hook so a window starting
+// on a tick boundary already severs that tick's deliveries.
+func (s *PartitionSchedule) Hook() sim.Hook {
+	return func(env *sim.Env) { s.Step(env.Clock.Now()) }
+}
+
+// PartitionCampaignConfig parameterises a random comm-partition
+// campaign, the channel-failure sibling of CampaignConfig.
+type PartitionCampaignConfig struct {
+	// Nodes are endpoints eligible for whole-radio outage windows.
+	Nodes []string
+	// Links are endpoint pairs eligible for link-outage windows.
+	Links [][2]string
+	// Rate is the expected number of windows per element over Horizon.
+	Rate    float64
+	Horizon time.Duration
+	// MeanDuration is the mean window length (defaults to
+	// DefaultClear); actual lengths are uniform in [0.5, 1.5] × mean.
+	MeanDuration time.Duration
+}
+
+// RandomPartitionCampaign draws a deterministic random partition
+// schedule from the RNG: each eligible element receives a
+// Poisson(Rate)-distributed number of outage windows with uniform
+// onsets over the horizon. Windows are clamped to the horizon and
+// returned sorted by onset.
+func RandomPartitionCampaign(cfg PartitionCampaignConfig, rng *sim.RNG) []PartitionWindow {
+	var out []PartitionWindow
+	if cfg.Horizon <= 0 {
+		return out
+	}
+	mean := cfg.MeanDuration
+	if mean <= 0 {
+		mean = DefaultClear
+	}
+	draw := func(a, b string) {
+		n := poisson(cfg.Rate, rng)
+		for i := 0; i < n; i++ {
+			from := time.Duration(rng.Range(0, float64(cfg.Horizon)))
+			dur := time.Duration(rng.Range(0.5, 1.5) * float64(mean))
+			until := from + dur
+			if until > cfg.Horizon {
+				until = cfg.Horizon
+			}
+			if until <= from {
+				continue
+			}
+			out = append(out, PartitionWindow{A: a, B: b, From: from, Until: until})
+		}
+	}
+	for _, id := range cfg.Nodes {
+		draw(id, "")
+	}
+	for _, l := range cfg.Links {
+		draw(l[0], l[1])
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].From < out[j].From })
+	return out
+}

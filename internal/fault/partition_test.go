@@ -1,0 +1,198 @@
+package fault
+
+import (
+	"testing"
+	"time"
+
+	"coopmrm/internal/sim"
+)
+
+// recLinks records SetNodeDown/SetLinkDown toggles and tracks the
+// resulting state, standing in for comm.Network.
+type recLinks struct {
+	nodes map[string]bool
+	links map[[2]string]bool
+	log   []string
+}
+
+func newRecLinks() *recLinks {
+	return &recLinks{nodes: map[string]bool{}, links: map[[2]string]bool{}}
+}
+
+func (r *recLinks) SetNodeDown(id string, down bool) {
+	r.nodes[id] = down
+	r.log = append(r.log, event("node", id, "", down))
+}
+
+func (r *recLinks) SetLinkDown(a, b string, down bool) {
+	r.links[[2]string{a, b}] = down
+	r.log = append(r.log, event("link", a, b, down))
+}
+
+func event(kind, a, b string, down bool) string {
+	s := kind + ":" + a
+	if b != "" {
+		s += "-" + b
+	}
+	if down {
+		return s + ":down"
+	}
+	return s + ":up"
+}
+
+func TestPartitionWindowValidate(t *testing.T) {
+	good := []PartitionWindow{
+		{A: "a", From: 0, Until: time.Second},
+		{A: "a", B: "b", From: time.Second, Until: 2 * time.Second},
+	}
+	for _, w := range good {
+		if err := w.Validate(); err != nil {
+			t.Errorf("good window %+v invalid: %v", w, err)
+		}
+	}
+	bad := []PartitionWindow{
+		{A: "", From: 0, Until: time.Second},
+		{A: "a", From: time.Second, Until: time.Second},
+		{A: "a", From: 2 * time.Second, Until: time.Second},
+	}
+	for _, w := range bad {
+		if err := w.Validate(); err == nil {
+			t.Errorf("window %+v should be invalid", w)
+		}
+	}
+	if _, err := NewPartitionSchedule(newRecLinks(), bad[0]); err == nil {
+		t.Error("NewPartitionSchedule must reject invalid windows")
+	}
+}
+
+// A schedule toggles node and link elements down on window entry and
+// up on exit, exactly once each.
+func TestPartitionScheduleToggles(t *testing.T) {
+	ctl := newRecLinks()
+	s := MustPartitionSchedule(ctl,
+		PartitionWindow{A: "t1", From: time.Second, Until: 3 * time.Second},
+		PartitionWindow{A: "t1", B: "t2", From: 2 * time.Second, Until: 4 * time.Second},
+	)
+	for now := time.Duration(0); now <= 5*time.Second; now += 500 * time.Millisecond {
+		s.Step(now)
+	}
+	want := []string{
+		"node:t1:down",
+		"link:t1-t2:down",
+		"node:t1:up",
+		"link:t1-t2:up",
+	}
+	if len(ctl.log) != len(want) {
+		t.Fatalf("toggle log = %v, want %v", ctl.log, want)
+	}
+	for i := range want {
+		if ctl.log[i] != want[i] {
+			t.Fatalf("toggle %d = %s, want %s (log %v)", i, ctl.log[i], want[i], ctl.log)
+		}
+	}
+	if s.ActiveCount() != 0 {
+		t.Errorf("ActiveCount = %d after all windows closed", s.ActiveCount())
+	}
+}
+
+// Overlapping windows on the same element are refcounted: the first
+// window ending must not heal an element the second still covers, and
+// the link key is direction-insensitive.
+func TestPartitionScheduleOverlapRefcount(t *testing.T) {
+	ctl := newRecLinks()
+	s := MustPartitionSchedule(ctl,
+		PartitionWindow{A: "a", B: "b", From: time.Second, Until: 3 * time.Second},
+		PartitionWindow{A: "b", B: "a", From: 2 * time.Second, Until: 5 * time.Second},
+	)
+	s.Step(time.Second)
+	if len(ctl.log) != 1 {
+		t.Fatalf("expected one down toggle, log %v", ctl.log)
+	}
+	s.Step(2 * time.Second) // second window opens: already down, no toggle
+	s.Step(3 * time.Second) // first ends: element still covered — must stay down
+	if len(ctl.log) != 1 {
+		t.Fatalf("overlap healed early: log %v", ctl.log)
+	}
+	if s.ActiveCount() != 1 {
+		t.Errorf("ActiveCount = %d, want 1", s.ActiveCount())
+	}
+	s.Step(5 * time.Second) // last cover ends: now heal
+	if len(ctl.log) != 2 || ctl.log[1] != "link:b-a:up" && ctl.log[1] != "link:a-b:up" {
+		t.Fatalf("expected a single up toggle at 5s, log %v", ctl.log)
+	}
+}
+
+// A schedule that skips ticks (coarse stepping) still applies windows
+// that opened and closed in between? No — windows shorter than a step
+// straddled entirely between two Step calls are invisible by design;
+// but a window straddling a single Step instant toggles correctly.
+// This test locks the documented exact-instant semantics: active for
+// From <= t < Until.
+func TestPartitionScheduleBoundarySemantics(t *testing.T) {
+	ctl := newRecLinks()
+	s := MustPartitionSchedule(ctl, PartitionWindow{A: "a", From: time.Second, Until: 2 * time.Second})
+	s.Step(time.Second) // From is inclusive
+	if !ctl.nodes["a"] {
+		t.Fatal("window must be active at From")
+	}
+	s.Step(2 * time.Second) // Until is exclusive
+	if ctl.nodes["a"] {
+		t.Fatal("window must be inactive at Until")
+	}
+}
+
+// RandomPartitionCampaign is deterministic for a seed and produces
+// windows that validate and respect the horizon.
+func TestRandomPartitionCampaign(t *testing.T) {
+	cfg := PartitionCampaignConfig{
+		Nodes:        []string{"t1", "t2", "t3"},
+		Links:        [][2]string{{"t1", "t2"}},
+		Rate:         2,
+		Horizon:      10 * time.Minute,
+		MeanDuration: 30 * time.Second,
+	}
+	one := RandomPartitionCampaign(cfg, sim.NewRNG(5))
+	two := RandomPartitionCampaign(cfg, sim.NewRNG(5))
+	if len(one) == 0 {
+		t.Fatal("campaign with rate 2 over 4 elements drew no windows")
+	}
+	if len(one) != len(two) {
+		t.Fatalf("not deterministic: %d vs %d windows", len(one), len(two))
+	}
+	for i, w := range one {
+		if w != two[i] {
+			t.Fatalf("window %d differs: %+v vs %+v", i, w, two[i])
+		}
+		if err := w.Validate(); err != nil {
+			t.Errorf("drawn window invalid: %v", err)
+		}
+		if w.Until > cfg.Horizon {
+			t.Errorf("window %+v exceeds horizon", w)
+		}
+		if i > 0 && w.From < one[i-1].From {
+			t.Errorf("windows not sorted by onset at %d", i)
+		}
+	}
+	if got := RandomPartitionCampaign(PartitionCampaignConfig{Nodes: []string{"a"}, Rate: 5}, sim.NewRNG(1)); len(got) != 0 {
+		t.Errorf("zero horizon must draw nothing, got %d", len(got))
+	}
+}
+
+// Integration: a schedule hooked into an engine-clock-like stepping
+// sequence toggles a live recLinks the way the comm network expects —
+// register the schedule hook before the network hook so a window
+// opening on a tick boundary severs that tick's deliveries.
+func TestPartitionScheduleHook(t *testing.T) {
+	ctl := newRecLinks()
+	s := MustPartitionSchedule(ctl, PartitionWindow{A: "t1", B: "t2", From: 200 * time.Millisecond, Until: 400 * time.Millisecond})
+	e := sim.NewEngine(sim.Config{Step: 100 * time.Millisecond})
+	e.AddPreHook(s.Hook())
+	e.RunFor(300 * time.Millisecond)
+	if !ctl.links[[2]string{"t1", "t2"}] {
+		t.Fatal("hook did not open the window on the engine clock")
+	}
+	e.RunFor(300 * time.Millisecond)
+	if ctl.links[[2]string{"t1", "t2"}] {
+		t.Fatal("hook did not close the window")
+	}
+}

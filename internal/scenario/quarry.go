@@ -42,6 +42,9 @@ type QuarryConfig struct {
 	// Patience overrides the agents' pass-around patience (default
 	// 8s) — the A3 ablation knob.
 	Patience time.Duration
+	// Net overrides the V2X channel model (default: 50 ms latency,
+	// no loss, no chaos) — the E17 chaos knobs live here.
+	Net *comm.NetConfig
 }
 
 func (c QuarryConfig) withDefaults() QuarryConfig {
@@ -141,7 +144,14 @@ func NewQuarry(cfg QuarryConfig) (*QuarryRig, error) {
 		Area: geom.NewRect(geom.V(-90, -90), geom.V(-30, -30))})
 
 	e := sim.NewEngine(sim.Config{Step: 100 * time.Millisecond, MaxTime: 24 * time.Hour, Seed: cfg.Seed})
-	net := comm.NewNetwork(comm.NetConfig{Latency: 50 * time.Millisecond}, sim.NewRNG(cfg.Seed))
+	netCfg := comm.NetConfig{Latency: 50 * time.Millisecond}
+	if cfg.Net != nil {
+		if err := cfg.Net.Validate(); err != nil {
+			return nil, err
+		}
+		netCfg = *cfg.Net
+	}
+	net := comm.NewNetwork(netCfg, sim.NewRNG(cfg.Seed))
 	e.AddPreHook(net.Hook())
 
 	rig := &QuarryRig{
