@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race vet lint bench
+.PHONY: build test check race vet lint bench benchdiff microbench
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,32 @@ race:
 # detector (the parallel runner keeps the whole tree concurrency-clean).
 check: build vet race
 
+# bench regenerates the committed quick-suite baseline
+# BENCH_quick.json (serial, seed 1 — the exact configuration the CI
+# perf gate diffs against). Run it after an intentional perf-relevant
+# change so the baseline tracks the trajectory.
 bench:
+	rm -rf .bench-out
+	$(GO) run ./cmd/experiments -quick -parallel 1 -out .bench-out >/dev/null
+	cp .bench-out/bench.json BENCH_quick.json
+	rm -rf .bench-out
+	@echo "BENCH_quick.json regenerated"
+
+# benchdiff runs the quick suite fresh and diffs it against the
+# committed baseline WITHOUT overwriting it — the perf-regression
+# gate. Exit 1 when any experiment (or the total) is more than 50%
+# slower than the baseline; CI runs this warn-only (wall clocks on
+# shared runners are noisy), see cmd/benchdiff for the threshold
+# semantics.
+benchdiff:
+	rm -rf .bench-out
+	$(GO) run ./cmd/experiments -quick -parallel 1 -out .bench-out >/dev/null
+	$(GO) run ./cmd/benchdiff -threshold 0.5 BENCH_quick.json .bench-out/bench.json
+
+# microbench runs the Go micro-benchmarks with allocation accounting:
+# the per-artefact experiment benchmarks plus the hot-path pairs
+# (event-log query indexed vs scan, network tick heap vs scan,
+# proximity indexed vs brute, E16 full tick).
+microbench:
 	$(GO) test -bench=. -benchmem .
-	$(GO) test -bench=. -benchmem ./internal/runner ./internal/comm
+	$(GO) test -bench=. -benchmem ./internal/runner ./internal/comm ./internal/sim

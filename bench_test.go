@@ -140,6 +140,34 @@ func BenchmarkProximityBrute10PairQuarry(b *testing.B) { benchProximity(b, true)
 // candidate pairs.
 func BenchmarkProximityIndexed10PairQuarry(b *testing.B) { benchProximity(b, false) }
 
+// BenchmarkE16QuarryTick measures one full engine tick — comm
+// delivery, entity steps, fault injection, metrics sampling — on the
+// 10-pair E16 quarry rig mid-incident with the status-sharing policy
+// beaconing V2X traffic. This is the whole-tick companion to the
+// per-subsystem benchmarks (BenchmarkProximity*, BenchmarkNetworkTick*,
+// BenchmarkEventLogQuery*): run with -benchmem, its allocs/op is the
+// allocation audit of the tick loop.
+func BenchmarkE16QuarryTick(b *testing.B) {
+	rig, err := scenario.NewQuarry(scenario.QuarryConfig{
+		Pairs: 10, TrucksPerPair: 1,
+		Policy: scenario.PolicyStatusSharing,
+		Seed:   1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	victim := rig.Trucks[0]
+	victim.Body().Teleport(geom.Pose{Pos: geom.V(150, 0)})
+	victim.ApplyFault(fault.Fault{ID: "blind", Target: victim.ID(),
+		Kind: fault.KindSensor, Severity: 1, Permanent: true})
+	rig.Run(90 * time.Second)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rig.Engine.RunTick()
+	}
+}
+
 func benchRunSet(b *testing.B, workers int) {
 	b.Helper()
 	all := append(AllExperiments(), AllAblations()...)

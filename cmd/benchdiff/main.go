@@ -1,0 +1,143 @@
+// Command benchdiff compares two coopmrm/bench/v1 reports — the
+// bench.json written by `experiments -out` (the committed quick
+// baseline lives at BENCH_quick.json) — and prints the per-experiment
+// and total wall-clock deltas. It is the repo's perf-regression gate:
+// CI runs the quick suite, diffs it against the committed baseline,
+// and warns (non-blocking) when the slowdown exceeds the threshold.
+//
+// Usage:
+//
+//	benchdiff [-threshold 0.25] OLD.json NEW.json
+//
+// The exit status encodes the verdict so callers can gate on it:
+//
+//	0 — no experiment (and not the total) slowed down by more than
+//	    the threshold fraction
+//	1 — at least one regression beyond the threshold
+//	2 — usage or I/O error
+//
+// -threshold is the tolerated slowdown as a fraction of the old wall
+// time (0.25 = 25% slower). Wall clocks are noisy — especially on
+// shared CI runners — so thresholds below ~0.25 will cry wolf;
+// experiments whose wall time is under MinSeconds on either side are
+// excluded from the verdict (their relative noise is unbounded — a
+// 60 ms experiment swings ±50% between back-to-back runs on a busy
+// machine) but their deltas are still printed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"coopmrm/internal/artifact"
+)
+
+// MinSeconds is the wall-time floor below which a per-experiment
+// delta does not count towards the verdict: a 60 ms experiment that
+// doubles is scheduler noise, not a regression. The total always
+// gates regardless.
+const MinSeconds = 0.1
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	}
+	os.Exit(code)
+}
+
+func run(args []string, stdout io.Writer) (int, error) {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	threshold := fs.Float64("threshold", 0.25,
+		"tolerated slowdown as a fraction of old wall time (0.25 = 25% slower)")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if fs.NArg() != 2 {
+		return 2, fmt.Errorf("usage: benchdiff [-threshold F] OLD.json NEW.json")
+	}
+	if *threshold < 0 {
+		return 2, fmt.Errorf("threshold %v must be >= 0", *threshold)
+	}
+	old, err := readBench(fs.Arg(0))
+	if err != nil {
+		return 2, err
+	}
+	new_, err := readBench(fs.Arg(1))
+	if err != nil {
+		return 2, err
+	}
+	return diff(stdout, old, new_, *threshold), nil
+}
+
+// readBench loads and schema-checks one report.
+func readBench(path string) (artifact.Bench, error) {
+	var b artifact.Bench
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("%s: %w", path, err)
+	}
+	if b.Schema != artifact.SchemaBench {
+		return b, fmt.Errorf("%s: schema %q, want %q", path, b.Schema, artifact.SchemaBench)
+	}
+	return b, nil
+}
+
+// diff renders the comparison and returns the verdict exit code.
+func diff(w io.Writer, old, new_ artifact.Bench, threshold float64) int {
+	oldBy := make(map[string]artifact.BenchExperiment, len(old.Experiments))
+	for _, e := range old.Experiments {
+		oldBy[e.ID] = e
+	}
+	fmt.Fprintf(w, "%-6s %12s %12s %12s %9s\n", "id", "old (s)", "new (s)", "delta (s)", "delta")
+	regressions := 0
+	seen := make(map[string]bool, len(new_.Experiments))
+	for _, ne := range new_.Experiments {
+		seen[ne.ID] = true
+		oe, ok := oldBy[ne.ID]
+		if !ok {
+			fmt.Fprintf(w, "%-6s %12s %12.4f %12s %9s  (new experiment)\n", ne.ID, "-", ne.WallSeconds, "-", "-")
+			continue
+		}
+		d := ne.WallSeconds - oe.WallSeconds
+		frac := 0.0
+		if oe.WallSeconds > 0 {
+			frac = d / oe.WallSeconds
+		}
+		marker := ""
+		if threshold > 0 && frac > threshold && oe.WallSeconds >= MinSeconds && ne.WallSeconds >= MinSeconds {
+			marker = fmt.Sprintf("  REGRESSION (> %+.0f%%)", threshold*100)
+			regressions++
+		}
+		fmt.Fprintf(w, "%-6s %12.4f %12.4f %+12.4f %+8.1f%%%s\n",
+			ne.ID, oe.WallSeconds, ne.WallSeconds, d, frac*100, marker)
+	}
+	for _, oe := range old.Experiments {
+		if !seen[oe.ID] {
+			fmt.Fprintf(w, "%-6s %12.4f %12s %12s %9s  (removed)\n", oe.ID, oe.WallSeconds, "-", "-", "-")
+		}
+	}
+	totalDelta := new_.WallSeconds - old.WallSeconds
+	totalFrac := 0.0
+	if old.WallSeconds > 0 {
+		totalFrac = totalDelta / old.WallSeconds
+	}
+	marker := ""
+	if threshold > 0 && totalFrac > threshold {
+		marker = fmt.Sprintf("  REGRESSION (> %+.0f%%)", threshold*100)
+		regressions++
+	}
+	fmt.Fprintf(w, "%-6s %12.4f %12.4f %+12.4f %+8.1f%%%s\n",
+		"total", old.WallSeconds, new_.WallSeconds, totalDelta, totalFrac*100, marker)
+	if regressions > 0 {
+		fmt.Fprintf(w, "%d regression(s) beyond the %.0f%% threshold\n", regressions, threshold*100)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"coopmrm/internal/artifact"
+)
+
+// writeBench writes a bench/v1 file with the given per-experiment
+// seconds and returns its path.
+func writeBench(t *testing.T, name string, wall map[string]float64) string {
+	t.Helper()
+	b := artifact.NewBench(1, 1, 1, true)
+	// Stable order so the rendered diff is deterministic in tests.
+	for _, id := range []string{"E1", "E2", "E3"} {
+		if s, ok := wall[id]; ok {
+			b.Add(id, time.Duration(s*float64(time.Second)), 1, 1)
+		}
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := artifact.WriteBench(path, b); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDiffNoRegression(t *testing.T) {
+	old := writeBench(t, "old.json", map[string]float64{"E1": 1.0, "E2": 2.0})
+	new_ := writeBench(t, "new.json", map[string]float64{"E1": 0.5, "E2": 2.1})
+	var out bytes.Buffer
+	code, err := run([]string{"-threshold", "0.25", old, new_}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("code = %d, err = %v\n%s", code, err, out.String())
+	}
+	for _, want := range []string{"E1", "E2", "total", "-50.0%"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestDiffFlagsRegression(t *testing.T) {
+	old := writeBench(t, "old.json", map[string]float64{"E1": 1.0, "E2": 2.0})
+	new_ := writeBench(t, "new.json", map[string]float64{"E1": 1.6, "E2": 2.0})
+	var out bytes.Buffer
+	code, err := run([]string{"-threshold", "0.25", old, new_}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("code = %d, want 1 (E1 +60%% beyond 25%% threshold)\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("output missing REGRESSION marker:\n%s", out.String())
+	}
+}
+
+// A regression on a sub-MinSeconds experiment is noise, not a
+// verdict; the total still gates.
+func TestDiffIgnoresTinyExperiments(t *testing.T) {
+	old := writeBench(t, "old.json", map[string]float64{"E1": 0.001, "E2": 2.0})
+	new_ := writeBench(t, "new.json", map[string]float64{"E1": 0.010, "E2": 2.0})
+	var out bytes.Buffer
+	code, err := run([]string{"-threshold", "0.25", old, new_}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("code = %d, want 0 (1ms experiment noise must not gate)\n%s", code, out.String())
+	}
+}
+
+func TestDiffAddedAndRemovedExperiments(t *testing.T) {
+	old := writeBench(t, "old.json", map[string]float64{"E1": 1.0, "E2": 1.0})
+	new_ := writeBench(t, "new.json", map[string]float64{"E1": 1.0, "E3": 1.0})
+	var out bytes.Buffer
+	code, err := run([]string{old, new_}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("code = %d, err = %v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "new experiment") || !strings.Contains(out.String(), "removed") {
+		t.Errorf("output missing added/removed markers:\n%s", out.String())
+	}
+}
+
+func TestRejectsBadInput(t *testing.T) {
+	old := writeBench(t, "old.json", map[string]float64{"E1": 1.0})
+	if code, err := run([]string{old}, &bytes.Buffer{}); err == nil || code != 2 {
+		t.Errorf("one arg: code = %d, err = %v, want usage error", code, err)
+	}
+	if code, err := run([]string{old, filepath.Join(t.TempDir(), "missing.json")}, &bytes.Buffer{}); err == nil || code != 2 {
+		t.Errorf("missing file: code = %d, err = %v, want I/O error", code, err)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"something/else"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, err := run([]string{old, bad}, &bytes.Buffer{}); err == nil || code != 2 {
+		t.Errorf("wrong schema: code = %d, err = %v, want schema error", code, err)
+	}
+	if code, err := run([]string{"-threshold", "-1", old, old}, &bytes.Buffer{}); err == nil || code != 2 {
+		t.Errorf("negative threshold: code = %d, err = %v, want usage error", code, err)
+	}
+}

@@ -29,6 +29,9 @@ type ObstacleMonitor struct {
 	holding   bool
 	holdStart time.Duration
 	passUntil time.Duration
+	// detBuf is per-tick scratch for the detection pass, reused so a
+	// steady-state Apply allocates nothing.
+	detBuf []sensor.Detection
 }
 
 // NewObstacleMonitor returns a monitor with conventional defaults.
@@ -61,7 +64,8 @@ func (m *ObstacleMonitor) Apply(env *sim.Env) {
 	holdDist := c.Body().StoppingDistance() + m.HoldMargin
 	blocked := false
 	inTunnel := false
-	for _, d := range c.Suite().Detect(pos, m.Neighbors()) {
+	m.detBuf = c.Suite().DetectInto(m.detBuf[:0], pos, m.Neighbors())
+	for _, d := range m.detBuf {
 		delta := d.Pos.Sub(pos)
 		fd := delta.Dot(forward)
 		lat := delta.Cross(forward)
@@ -71,11 +75,7 @@ func (m *ObstacleMonitor) Apply(env *sim.Env) {
 		if fd > 0.5 && fd < holdDist && lat < m.CorridorHalfWidth {
 			blocked = true
 			if m.World != nil {
-				for _, z := range m.World.ZoneAt(d.Pos) {
-					if z.Kind == world.ZoneTunnel {
-						inTunnel = true
-					}
-				}
+				inTunnel = m.World.HasZoneKindAt(world.ZoneTunnel, d.Pos)
 			} else {
 				inTunnel = true // without a world, all holds are hard
 			}

@@ -382,12 +382,7 @@ func (p *Orchestrated) handleReroute(m comm.Message) {
 		if errX == nil && errY == nil {
 			pos := geom.V(x, y)
 			if p.World != nil {
-				tunnel := false
-				for _, z := range p.World.ZoneAt(pos) {
-					if z.Kind == world.ZoneTunnel {
-						tunnel = true
-					}
-				}
+				tunnel := p.World.HasZoneKindAt(world.ZoneTunnel, pos)
 				if !tunnel {
 					return // passable: the obstacle monitor handles it
 				}

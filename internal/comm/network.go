@@ -149,17 +149,41 @@ func (b Breakdown) Total() int64 {
 // Network is the shared medium. Endpoints register by constituent ID;
 // Deliver moves due messages into inboxes each tick, re-checking node
 // and link state at arrival time.
+//
+// The in-transit set is a binary min-heap keyed on
+// (deliverAt, Seq, recipient) — the exact deterministic delivery
+// order — so Deliver pops only the due envelopes instead of scanning,
+// partitioning, and re-sorting the whole set every tick (the
+// pre-change behaviour, retained behind UseScanDeliver as the oracle
+// arm of the differential tests). Inboxes are double-buffered and the
+// broadcast fan-out list is scratch storage, so a steady-state
+// send/deliver/receive tick allocates nothing.
 type Network struct {
-	cfg       NetConfig
-	rng       *sim.RNG
-	seq       int64
-	now       time.Duration
-	nowFn     func() time.Duration
-	inTransit []envelope
-	inbox     map[string][]Message
-	order     []string
-	downNode  map[string]bool
-	downLink  map[[2]string]bool
+	cfg      NetConfig
+	rng      *sim.RNG
+	seq      int64
+	now      time.Duration
+	nowFn    func() time.Duration
+	transit  envHeap
+	inbox    map[string]*inboxBuf
+	order    []string
+	downNode map[string]bool
+	downLink map[[2]string]bool
+
+	// recipBuf is the scratch fan-out list reused across Send calls
+	// (both unicast and broadcast), so Send allocates nothing once the
+	// buffer has grown to the fleet size.
+	recipBuf []string
+	// dueBuf/laterBuf are scratch for the UseScanDeliver oracle path.
+	dueBuf, laterBuf []envelope
+
+	// UseScanDeliver disables the min-heap pop loop and delivers by
+	// scanning, partitioning, and sorting the full in-transit set —
+	// byte for byte the pre-heap Deliver. It is the oracle arm of the
+	// differential tests and the baseline of the delivery benchmarks
+	// (mirroring metrics.Collector.UseBruteForce). Toggling it at any
+	// point is safe: both paths keep the heap invariant intact.
+	UseScanDeliver bool
 
 	sent      int64
 	dropped   int64
@@ -170,6 +194,89 @@ type envelope struct {
 	msg       Message
 	to        string
 	deliverAt time.Duration
+}
+
+// envLess is the deterministic delivery order: deliverAt, then Seq,
+// then recipient. Envelopes comparing equal are necessarily identical
+// payloads (same Seq means same Send call — an original and its chaos
+// duplicate), so any tie-break among them delivers the same bytes.
+func envLess(a, b envelope) bool {
+	if a.deliverAt != b.deliverAt {
+		return a.deliverAt < b.deliverAt
+	}
+	if a.msg.Seq != b.msg.Seq {
+		return a.msg.Seq < b.msg.Seq
+	}
+	return a.to < b.to
+}
+
+// envHeap is a slice-backed binary min-heap ordered by envLess. It is
+// hand-rolled rather than container/heap so push and pop stay free of
+// interface boxing — the delivery tick is a hot path.
+type envHeap []envelope
+
+func (h *envHeap) push(e envelope) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !envLess(s[i], s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+// popMin removes and returns the minimum envelope. The heap must be
+// non-empty.
+func (h *envHeap) popMin() envelope {
+	s := *h
+	min := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s[last] = envelope{} // release the Message maps to the GC
+	*h = s[:last]
+	h.siftDown(0)
+	return min
+}
+
+func (h *envHeap) siftDown(i int) {
+	s := *h
+	n := len(s)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && envLess(s[right], s[left]) {
+			smallest = right
+		}
+		if !envLess(s[smallest], s[i]) {
+			return
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
+}
+
+// init re-establishes the heap invariant over arbitrary contents.
+func (h *envHeap) init() {
+	for i := len(*h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+// inboxBuf is one endpoint's double-buffered inbox: Deliver appends
+// into cur, Receive hands cur to the caller and swaps in the drained
+// prev buffer. The slice returned by Receive therefore stays intact
+// until the *second* following Receive of the same endpoint — one
+// full tick of safety margin — while steady-state delivery reuses the
+// two backing arrays and allocates nothing.
+type inboxBuf struct {
+	cur, prev []Message
 }
 
 // NewNetwork returns a network using the given RNG for jitter, loss,
@@ -186,7 +293,7 @@ func NewNetwork(cfg NetConfig, rng *sim.RNG) *Network {
 	return &Network{
 		cfg:      cfg,
 		rng:      rng,
-		inbox:    make(map[string][]Message),
+		inbox:    make(map[string]*inboxBuf),
 		downNode: make(map[string]bool),
 		downLink: make(map[[2]string]bool),
 	}
@@ -201,7 +308,7 @@ func (n *Network) Register(id string) error {
 	if _, dup := n.inbox[id]; dup {
 		return fmt.Errorf("comm: duplicate endpoint %q", id)
 	}
-	n.inbox[id] = nil
+	n.inbox[id] = &inboxBuf{}
 	n.order = append(n.order, id)
 	return nil
 }
@@ -301,12 +408,12 @@ func (n *Network) Send(m Message) int64 {
 			n.drop(DropLoss)
 			continue
 		}
-		n.inTransit = append(n.inTransit, envelope{msg: m, to: to, deliverAt: now + n.delay()})
+		n.transit.push(envelope{msg: m, to: to, deliverAt: now + n.delay()})
 		if n.cfg.DupProb > 0 && n.rng.Bool(n.cfg.DupProb) {
 			// The duplicate is an extra attempted delivery with its
 			// own delay draws, so the copies can arrive in any order.
 			n.sent++
-			n.inTransit = append(n.inTransit, envelope{msg: m, to: to, deliverAt: now + n.delay()})
+			n.transit.push(envelope{msg: m, to: to, deliverAt: now + n.delay()})
 		}
 	}
 	return m.Seq
@@ -349,24 +456,23 @@ func (n *Network) Now() time.Duration {
 // Network.Hook attaches the engine clock automatically.
 func (n *Network) AttachClock(now func() time.Duration) { n.nowFn = now }
 
-// recipients lists the intended delivery attempts of m: the named
-// endpoint for a unicast (even if unregistered or the sender itself —
-// Send accounts those as drops), or every registered endpoint except
-// the sender for a broadcast.
+// recipients lists the intended delivery attempts of m into the
+// network's scratch buffer: the named endpoint for a unicast (even if
+// unregistered or the sender itself — Send accounts those as drops),
+// or every registered endpoint except the sender for a broadcast. The
+// returned slice is only valid until the next Send.
 func (n *Network) recipients(m Message) []string {
+	n.recipBuf = n.recipBuf[:0]
 	if m.To != Broadcast {
-		return []string{m.To}
+		n.recipBuf = append(n.recipBuf, m.To)
+		return n.recipBuf
 	}
-	if len(n.order) == 0 {
-		return nil
-	}
-	out := make([]string, 0, len(n.order)-1)
 	for _, id := range n.order {
 		if id != m.From {
-			out = append(out, id)
+			n.recipBuf = append(n.recipBuf, id)
 		}
 	}
-	return out
+	return n.recipBuf
 }
 
 // Deliver advances the network clock to now and moves due messages to
@@ -377,47 +483,80 @@ func (n *Network) recipients(m Message) []string {
 // Partition window covering the arrival all drop the message (the
 // sender's state no longer matters — the datagram already left its
 // radio). Drops are accounted per cause in StatsBreakdown.
+//
+// The in-transit heap is keyed on exactly that order, so delivery is
+// a pop loop over the due prefix — O(due · log pending) — instead of
+// the pre-change scan + partition + sort over everything in flight.
 func (n *Network) Deliver(now time.Duration) {
 	n.now = now
-	var due, later []envelope
-	for _, e := range n.inTransit {
+	if n.UseScanDeliver {
+		n.deliverScan(now)
+		return
+	}
+	for len(n.transit) > 0 && n.transit[0].deliverAt <= now {
+		n.deliverOne(n.transit.popMin())
+	}
+}
+
+// deliverScan is the pre-heap Deliver — the oracle arm of the
+// differential tests. It scans the whole in-transit set, partitions
+// it into due and later, sorts the due envelopes, processes them, and
+// re-heapifies the remainder (so the fast path stays correct if the
+// flag is flipped mid-run).
+func (n *Network) deliverScan(now time.Duration) {
+	due, later := n.dueBuf[:0], n.laterBuf[:0]
+	for _, e := range n.transit {
 		if e.deliverAt <= now {
 			due = append(due, e)
 		} else {
 			later = append(later, e)
 		}
 	}
-	n.inTransit = later
-	sort.Slice(due, func(i, j int) bool {
-		if due[i].deliverAt != due[j].deliverAt {
-			return due[i].deliverAt < due[j].deliverAt
-		}
-		if due[i].msg.Seq != due[j].msg.Seq {
-			return due[i].msg.Seq < due[j].msg.Seq
-		}
-		return due[i].to < due[j].to
-	})
+	n.dueBuf, n.laterBuf = due, later
+	sort.Slice(due, func(i, j int) bool { return envLess(due[i], due[j]) })
+	n.transit = append(n.transit[:0], later...)
+	n.transit.init()
 	for _, e := range due {
-		switch {
-		case n.downNode[e.to]:
-			n.drop(DropNodeDown)
-		case n.downLink[[2]string{e.msg.From, e.to}] || n.partitioned(e.msg.From, e.to, e.deliverAt):
-			n.drop(DropLinkDown)
-		default:
-			n.inbox[e.to] = append(n.inbox[e.to], e.msg)
-		}
+		n.deliverOne(e)
+	}
+}
+
+// deliverOne applies the arrival-time re-check to one due envelope and
+// either drops it or appends it to the recipient's inbox.
+func (n *Network) deliverOne(e envelope) {
+	switch {
+	case n.downNode[e.to]:
+		n.drop(DropNodeDown)
+	case n.downLink[[2]string{e.msg.From, e.to}] || n.partitioned(e.msg.From, e.to, e.deliverAt):
+		n.drop(DropLinkDown)
+	default:
+		box := n.inbox[e.to]
+		box.cur = append(box.cur, e.msg)
 	}
 }
 
 // Receive drains and returns the inbox of id, in delivery order.
+//
+// The returned slice is owned by the network (inboxes are
+// double-buffered): it stays intact until the second following
+// Receive of the same endpoint, after which its backing array is
+// reused. Callers must consume or copy it within the current tick —
+// every entity in this repository ranges over it immediately.
 func (n *Network) Receive(id string) []Message {
-	msgs := n.inbox[id]
-	n.inbox[id] = nil
+	box := n.inbox[id]
+	if box == nil {
+		return nil
+	}
+	msgs := box.cur
+	box.cur, box.prev = box.prev[:0], msgs
+	if len(msgs) == 0 {
+		return nil
+	}
 	return msgs
 }
 
 // Pending returns the number of messages in transit.
-func (n *Network) Pending() int { return len(n.inTransit) }
+func (n *Network) Pending() int { return len(n.transit) }
 
 // Stats returns per-recipient delivery accounting: sent counts every
 // attempted delivery (a broadcast to k recipients counts k, and a

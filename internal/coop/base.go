@@ -177,12 +177,7 @@ func (b *Base) BeaconIfDue(env *sim.Env) {
 
 // inTunnel reports whether the position lies in a tunnel zone.
 func inTunnel(w *world.World, pos geom.Vec2) bool {
-	for _, z := range w.ZoneAt(pos) {
-		if z.Kind == world.ZoneTunnel {
-			return true
-		}
-	}
-	return false
+	return w.HasZoneKindAt(world.ZoneTunnel, pos)
 }
 
 // parseXY extracts a position payload; ok is false when absent.

@@ -2,7 +2,7 @@ package geom
 
 import (
 	"math"
-	"sort"
+	"slices"
 )
 
 // Grid is a uniform-cell broad-phase index over indexed point sites.
@@ -82,12 +82,14 @@ func (g *Grid) CandidatePairs(buf [][2]int) [][2]int {
 			}
 		}
 	}
-	out := buf[start:]
-	sort.Slice(out, func(i, j int) bool {
-		if out[i][0] != out[j][0] {
-			return out[i][0] < out[j][0]
+	// slices.SortFunc rather than sort.Slice: the reflect-based
+	// swapper of the latter allocates on every call, and this sort
+	// runs once per tick on the proximity hot path.
+	slices.SortFunc(buf[start:], func(a, b [2]int) int {
+		if a[0] != b[0] {
+			return a[0] - b[0]
 		}
-		return out[i][1] < out[j][1]
+		return a[1] - b[1]
 	})
 	return buf
 }

@@ -219,14 +219,15 @@ func Build(cfg FileConfig) (*CustomRig, error) {
 		return false
 	}
 	neighborsOf := func(self *core.Constituent) func() []sensor.Target {
+		var buf []sensor.Target // per-closure scratch, reused every tick
 		return func() []sensor.Target {
-			var out []sensor.Target
+			buf = buf[:0]
 			for _, o := range rig.Constituents {
 				if o != self {
-					out = append(out, sensor.Target{ID: o.ID(), Pos: o.Body().Position()})
+					buf = append(buf, sensor.Target{ID: o.ID(), Pos: o.Body().Position()})
 				}
 			}
-			return out
+			return buf
 		}
 	}
 

@@ -53,11 +53,25 @@ type HarbourRig struct {
 	Supervisor *HarbourSupervisor
 	Collector  *metrics.Collector
 	Injector   *fault.Injector
+
+	// allBuf caches the crane+forklifts concatenation for the per-tick
+	// neighbor closures (see all).
+	allBuf []*core.Constituent
 }
 
 // All returns crane plus forklifts.
 func (r *HarbourRig) All() []*core.Constituent {
 	return append([]*core.Constituent{r.Crane}, r.Forklifts...)
+}
+
+// all is the cached, shared counterpart of All for per-tick internal
+// callers (the neighbor closures): it rebuilds only when the fleet
+// size changed and must not be mutated or exposed.
+func (r *HarbourRig) all() []*core.Constituent {
+	if len(r.allBuf) != 1+len(r.Forklifts) {
+		r.allBuf = append(append(r.allBuf[:0], r.Crane), r.Forklifts...)
+	}
+	return r.allBuf
 }
 
 // Run executes the scenario for the horizon.
@@ -217,15 +231,18 @@ func NewHarbour(cfg HarbourConfig) (*HarbourRig, error) {
 			ServiceTime:     4 * time.Second,
 			ServiceGate:     craneWorks,
 			World:           w,
-			Neighbors: func() []sensor.Target {
-				var out []sensor.Target
-				for _, o := range rig.All() {
-					if o != f {
-						out = append(out, sensor.Target{ID: o.ID(), Pos: o.Body().Position()})
+			Neighbors: func() func() []sensor.Target {
+				var buf []sensor.Target // per-closure scratch, reused every tick
+				return func() []sensor.Target {
+					buf = buf[:0]
+					for _, o := range rig.all() {
+						if o != f {
+							buf = append(buf, sensor.Target{ID: o.ID(), Pos: o.Body().Position()})
+						}
 					}
+					return buf
 				}
-				return out
-			},
+			}(),
 		})
 		e.MustRegister(h)
 		rig.Hauls = append(rig.Hauls, h)

@@ -158,15 +158,18 @@ func NewHighway(cfg HighwayConfig) (*HighwayRig, error) {
 			DepositNodes:    map[string]bool{"exit": true},
 			UnitsPerDeposit: 1,
 			Speed:           cfg.Speed,
-			Neighbors: func() []sensor.Target {
-				var out []sensor.Target
-				for _, o := range rig.Cars {
-					if o != c {
-						out = append(out, sensor.Target{ID: o.ID(), Pos: o.Body().Position()})
+			Neighbors: func() func() []sensor.Target {
+				var buf []sensor.Target // per-closure scratch, reused every tick
+				return func() []sensor.Target {
+					buf = buf[:0]
+					for _, o := range rig.Cars {
+						if o != c {
+							buf = append(buf, sensor.Target{ID: o.ID(), Pos: o.Body().Position()})
+						}
 					}
+					return buf
 				}
-				return out
-			},
+			}(),
 		})
 		e.MustRegister(h)
 		rig.Hauls = append(rig.Hauls, h)

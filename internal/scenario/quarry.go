@@ -91,6 +91,10 @@ type QuarryRig struct {
 	// registration order (empty for the baseline), so experiments can
 	// reach class-specific knobs (evacuations, designed responses).
 	Policies []sim.Entity
+
+	// allBuf caches the diggers+trucks concatenation for the per-tick
+	// neighbor closures (see all).
+	allBuf []*core.Constituent
 }
 
 // All returns every constituent (diggers then trucks).
@@ -99,6 +103,16 @@ func (r *QuarryRig) All() []*core.Constituent {
 	out = append(out, r.Diggers...)
 	out = append(out, r.Trucks...)
 	return out
+}
+
+// all is the cached, shared counterpart of All for per-tick internal
+// callers (the neighbor closures): it rebuilds only when the fleet
+// size changed and must not be mutated or exposed.
+func (r *QuarryRig) all() []*core.Constituent {
+	if len(r.allBuf) != len(r.Diggers)+len(r.Trucks) {
+		r.allBuf = append(append(r.allBuf[:0], r.Diggers...), r.Trucks...)
+	}
+	return r.allBuf
 }
 
 // Run executes the scenario for the horizon.
@@ -269,16 +283,20 @@ func NewQuarry(cfg QuarryConfig) (*QuarryRig, error) {
 }
 
 // neighborsOf returns the detection targets for one constituent: the
-// positions of every other constituent.
+// positions of every other constituent. The closure owns a scratch
+// slice (and iterates the cached constituent list) so the per-tick
+// detection pass allocates nothing in steady state; callers must not
+// retain the returned slice across calls.
 func (r *QuarryRig) neighborsOf(self *core.Constituent) func() []sensor.Target {
+	var buf []sensor.Target
 	return func() []sensor.Target {
-		var out []sensor.Target
-		for _, o := range r.All() {
+		buf = buf[:0]
+		for _, o := range r.all() {
 			if o != self {
-				out = append(out, sensor.Target{ID: o.ID(), Pos: o.Body().Position()})
+				buf = append(buf, sensor.Target{ID: o.ID(), Pos: o.Body().Position()})
 			}
 		}
-		return out
+		return buf
 	}
 }
 

@@ -82,12 +82,9 @@ func probeFor(c *core.Constituent, w *world.World) metrics.Probe {
 		Stopped:   c.Body().Stopped,
 		StopRisk:  func() float64 { return w.StopRiskAt(c.Body().Position()) },
 		InActiveLane: func() bool {
-			for _, z := range w.ZoneAt(c.Body().Position()) {
-				if z.Kind == world.ZoneLane || z.Kind == world.ZoneTunnel {
-					return true
-				}
-			}
-			return false
+			pos := c.Body().Position()
+			return w.HasZoneKindAt(world.ZoneLane, pos) ||
+				w.HasZoneKindAt(world.ZoneTunnel, pos)
 		},
 	}
 }

@@ -8,7 +8,8 @@ package sensor
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"strings"
 
 	"coopmrm/internal/geom"
 )
@@ -177,19 +178,30 @@ type Detection struct {
 // Detect returns the targets within the suite's effective range of
 // the observer position, nearest first (ties by ID).
 func (st *Suite) Detect(observer geom.Vec2, targets []Target) []Detection {
+	return st.DetectInto(nil, observer, targets)
+}
+
+// DetectInto is Detect appending into buf, so per-tick callers can
+// reuse scratch storage instead of allocating a detection slice every
+// tick. The sort is slices.SortFunc rather than sort.Slice to avoid
+// the reflect-based swapper allocation on the hot path.
+func (st *Suite) DetectInto(buf []Detection, observer geom.Vec2, targets []Target) []Detection {
 	r := st.EffectiveRange()
-	var out []Detection
+	start := len(buf)
 	for _, t := range targets {
 		d := observer.Dist(t.Pos)
 		if d <= r {
-			out = append(out, Detection{ID: t.ID, Pos: t.Pos, Distance: d})
+			buf = append(buf, Detection{ID: t.ID, Pos: t.Pos, Distance: d})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Distance != out[j].Distance {
-			return out[i].Distance < out[j].Distance
+	slices.SortFunc(buf[start:], func(a, b Detection) int {
+		if a.Distance != b.Distance {
+			if a.Distance < b.Distance {
+				return -1
+			}
+			return 1
 		}
-		return out[i].ID < out[j].ID
+		return strings.Compare(a.ID, b.ID)
 	})
-	return out
+	return buf
 }

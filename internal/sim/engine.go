@@ -35,15 +35,25 @@ func (e *Env) Emit(kind EventKind, subject, detail string) {
 	})
 }
 
-// EmitFields appends an event with extra key/value fields.
+// EmitFields appends an event with extra key/value fields. The map is
+// copied: the log owns its entries, so a caller mutating (or reusing)
+// the map after the emit cannot retroactively corrupt recorded
+// history. A nil map stays nil.
 func (e *Env) EmitFields(kind EventKind, subject, detail string, fields map[string]string) {
+	var copied map[string]string
+	if fields != nil {
+		copied = make(map[string]string, len(fields))
+		for k, v := range fields {
+			copied[k] = v
+		}
+	}
 	e.Log.Append(Event{
 		Time:    e.Clock.Now(),
 		Tick:    e.Clock.Tick(),
 		Kind:    kind,
 		Subject: subject,
 		Detail:  detail,
-		Fields:  fields,
+		Fields:  copied,
 	})
 }
 

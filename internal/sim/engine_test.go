@@ -271,6 +271,31 @@ func TestEnvEmit(t *testing.T) {
 	}
 }
 
+// Regression: EmitFields used to store the caller's map by reference,
+// so mutating (or reusing) the map after the emit retroactively
+// corrupted the recorded event. The log must own a copy.
+func TestEmitFieldsCopiesMap(t *testing.T) {
+	e := NewEngine(Config{Step: 10 * time.Millisecond})
+	env := e.Env()
+	fields := map[string]string{"mode": "nominal"}
+	env.EmitFields(EventInfo, "truck1", "beacon", fields)
+	fields["mode"] = "mrc" // caller reuses its map for the next emit
+	delete(fields, "mode")
+	fields["other"] = "x"
+	ev := env.Log.Events()[0]
+	if got := ev.Fields["mode"]; got != "nominal" {
+		t.Errorf("recorded field mutated after emit: mode = %q, want %q", got, "nominal")
+	}
+	if _, leaked := ev.Fields["other"]; leaked {
+		t.Error("key added after emit leaked into the recorded event")
+	}
+	// Nil stays nil (no empty-map churn in the serialized log).
+	env.EmitFields(EventInfo, "truck1", "bare", nil)
+	if ev := env.Log.Events()[1]; ev.Fields != nil {
+		t.Errorf("nil fields map became %v, want nil", ev.Fields)
+	}
+}
+
 func TestEngineDeterministicRuns(t *testing.T) {
 	run := func() string {
 		e := NewEngine(Config{Step: 10 * time.Millisecond, MaxTime: 100 * time.Millisecond, Seed: 99})

@@ -50,15 +50,36 @@ type Event struct {
 }
 
 // EventLog is an append-only in-memory event record.
+//
+// Append maintains per-kind and per-subject index slices (positions
+// into the event array), so the query methods — Count, ByKind,
+// BySubject, First, Last, KindHistogram — run in O(1) or O(matches)
+// instead of scanning the whole log. Several of those queries sit
+// inside per-tick stop conditions of long experiment runs, where the
+// log grows to tens of thousands of entries; the linear scans they
+// replaced were the dominant tick cost after the proximity broad-phase
+// landed. The scan implementations are retained (unexported *Scan
+// methods) as the oracle arm of the differential tests.
 type EventLog struct {
-	events []Event
+	events    []Event
+	byKind    map[EventKind][]int
+	bySubject map[string][]int
 }
 
 // NewEventLog returns an empty log.
 func NewEventLog() *EventLog { return &EventLog{} }
 
-// Append adds an event.
-func (l *EventLog) Append(e Event) { l.events = append(l.events, e) }
+// Append adds an event and indexes it by kind and subject.
+func (l *EventLog) Append(e Event) {
+	i := len(l.events)
+	l.events = append(l.events, e)
+	if l.byKind == nil {
+		l.byKind = make(map[EventKind][]int)
+		l.bySubject = make(map[string][]int)
+	}
+	l.byKind[e.Kind] = append(l.byKind[e.Kind], i)
+	l.bySubject[e.Subject] = append(l.bySubject[e.Subject], i)
+}
 
 // Len returns the number of recorded events.
 func (l *EventLog) Len() int { return len(l.events) }
@@ -70,8 +91,72 @@ func (l *EventLog) Events() []Event {
 	return out
 }
 
+// gather copies the indexed events into a fresh slice, preserving
+// append order (index slices are built in append order, so no sort is
+// needed). Returns nil for an empty index, matching the scan oracles.
+func (l *EventLog) gather(idx []int) []Event {
+	if len(idx) == 0 {
+		return nil
+	}
+	out := make([]Event, len(idx))
+	for i, pos := range idx {
+		out[i] = l.events[pos]
+	}
+	return out
+}
+
 // ByKind returns all events of the given kind, in order.
 func (l *EventLog) ByKind(kind EventKind) []Event {
+	return l.gather(l.byKind[kind])
+}
+
+// BySubject returns all events with the given subject, in order.
+func (l *EventLog) BySubject(subject string) []Event {
+	return l.gather(l.bySubject[subject])
+}
+
+// Count returns the number of events of the given kind.
+func (l *EventLog) Count(kind EventKind) int {
+	return len(l.byKind[kind])
+}
+
+// CountSubject returns the number of events with the given subject.
+func (l *EventLog) CountSubject(subject string) int {
+	return len(l.bySubject[subject])
+}
+
+// First returns the first event of the given kind and whether one
+// exists.
+func (l *EventLog) First(kind EventKind) (Event, bool) {
+	idx := l.byKind[kind]
+	if len(idx) == 0 {
+		return Event{}, false
+	}
+	return l.events[idx[0]], true
+}
+
+// Last returns the last event of the given kind and whether one
+// exists.
+func (l *EventLog) Last(kind EventKind) (Event, bool) {
+	idx := l.byKind[kind]
+	if len(idx) == 0 {
+		return Event{}, false
+	}
+	return l.events[idx[len(idx)-1]], true
+}
+
+// KindHistogram returns a map of kind to count, useful in reports.
+func (l *EventLog) KindHistogram() map[EventKind]int {
+	h := make(map[EventKind]int, len(l.byKind))
+	for k, idx := range l.byKind {
+		h[k] = len(idx)
+	}
+	return h
+}
+
+// byKindScan is the pre-index ByKind: a full linear scan. It is the
+// oracle the differential tests compare the index against.
+func (l *EventLog) byKindScan(kind EventKind) []Event {
 	var out []Event
 	for _, e := range l.events {
 		if e.Kind == kind {
@@ -81,8 +166,8 @@ func (l *EventLog) ByKind(kind EventKind) []Event {
 	return out
 }
 
-// BySubject returns all events with the given subject, in order.
-func (l *EventLog) BySubject(subject string) []Event {
+// bySubjectScan is the pre-index BySubject oracle.
+func (l *EventLog) bySubjectScan(subject string) []Event {
 	var out []Event
 	for _, e := range l.events {
 		if e.Subject == subject {
@@ -92,8 +177,8 @@ func (l *EventLog) BySubject(subject string) []Event {
 	return out
 }
 
-// Count returns the number of events of the given kind.
-func (l *EventLog) Count(kind EventKind) int {
+// countScan is the pre-index Count oracle.
+func (l *EventLog) countScan(kind EventKind) int {
 	n := 0
 	for _, e := range l.events {
 		if e.Kind == kind {
@@ -103,9 +188,8 @@ func (l *EventLog) Count(kind EventKind) int {
 	return n
 }
 
-// First returns the first event of the given kind and whether one
-// exists.
-func (l *EventLog) First(kind EventKind) (Event, bool) {
+// firstScan is the pre-index First oracle.
+func (l *EventLog) firstScan(kind EventKind) (Event, bool) {
 	for _, e := range l.events {
 		if e.Kind == kind {
 			return e, true
@@ -114,9 +198,8 @@ func (l *EventLog) First(kind EventKind) (Event, bool) {
 	return Event{}, false
 }
 
-// Last returns the last event of the given kind and whether one
-// exists.
-func (l *EventLog) Last(kind EventKind) (Event, bool) {
+// lastScan is the pre-index Last oracle.
+func (l *EventLog) lastScan(kind EventKind) (Event, bool) {
 	for i := len(l.events) - 1; i >= 0; i-- {
 		if l.events[i].Kind == kind {
 			return l.events[i], true
@@ -125,8 +208,8 @@ func (l *EventLog) Last(kind EventKind) (Event, bool) {
 	return Event{}, false
 }
 
-// KindHistogram returns a map of kind to count, useful in reports.
-func (l *EventLog) KindHistogram() map[EventKind]int {
+// kindHistogramScan is the pre-index KindHistogram oracle.
+func (l *EventLog) kindHistogramScan() map[EventKind]int {
 	h := make(map[EventKind]int)
 	for _, e := range l.events {
 		h[e.Kind]++

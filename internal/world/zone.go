@@ -192,6 +192,20 @@ func (w *World) ZoneAt(p geom.Vec2) []Zone {
 	return out
 }
 
+// HasZoneKindAt reports whether a zone of the given kind contains p.
+// It is the allocation-free membership companion of ZoneAt: per-tick
+// callers (risk-relevance probes, obstacle monitors) only test kinds,
+// and building the zone slice for that was a measurable share of the
+// tick loop's garbage.
+func (w *World) HasZoneKindAt(kind ZoneKind, p geom.Vec2) bool {
+	for _, id := range w.order {
+		if z := w.zones[id]; z.Kind == kind && z.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
 // NearestZoneOfKind returns the zone of the given kind nearest to p
 // (by boundary distance) and whether one exists. Ties break by lower
 // zone ID for determinism.
