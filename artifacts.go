@@ -27,12 +27,25 @@ func (o Options) Observe(name string, rep metrics.Report, log *sim.EventLog,
 	o.Artifacts.Record(artifact.CaptureRun(name, rep, log, net, inj, nil))
 }
 
+// ObserveBench records one fine-grained timing measurement (tick
+// throughput of a rig run) into the bench stream. A no-op without a
+// recorder. Details end up in bench.json only — never in bundles — so
+// experiments may feed them from the wall clock without breaking the
+// bundle determinism contract.
+func (o Options) ObserveBench(d artifact.BenchDetail) {
+	if o.Artifacts == nil {
+		return
+	}
+	o.Artifacts.RecordDetail(d)
+}
+
 // ExperimentArtifacts couples one experiment's table with the rig runs
 // it recorded and the wall-clock time the job took.
 type ExperimentArtifacts struct {
 	Experiment Experiment
 	Table      Table
 	Runs       []artifact.Run
+	Details    []artifact.BenchDetail
 	Wall       time.Duration
 }
 
@@ -50,6 +63,7 @@ func RunSetWithArtifacts(es []Experiment, opt Options, parallel int) ([]Experime
 				Experiment: es[i],
 				Table:      table,
 				Runs:       jobOpt.Artifacts.Runs(),
+				Details:    jobOpt.Artifacts.Details(),
 			}, nil
 		})
 	if err != nil {
@@ -67,15 +81,17 @@ func RunSetWithArtifacts(es []Experiment, opt Options, parallel int) ([]Experime
 // of the per-seed job times.
 func SweepSeedsWithArtifacts(e Experiment, opt Options, seeds []int64, parallel int) (ExperimentArtifacts, error) {
 	type seedResult struct {
-		table Table
-		runs  []artifact.Run
+		table   Table
+		runs    []artifact.Run
+		details []artifact.BenchDetail
 	}
 	results, walls, err := runner.MapTimed(context.Background(), parallel, len(seeds),
 		func(_ context.Context, i int) (seedResult, error) {
 			jobOpt := opt.WithSeed(seeds[i])
 			jobOpt.Artifacts = artifact.NewRecorder()
 			table := e.Run(jobOpt)
-			return seedResult{table: table, runs: jobOpt.Artifacts.Runs()}, nil
+			return seedResult{table: table, runs: jobOpt.Artifacts.Runs(),
+				details: jobOpt.Artifacts.Details()}, nil
 		})
 	if err != nil {
 		return ExperimentArtifacts{}, err
@@ -87,6 +103,10 @@ func SweepSeedsWithArtifacts(e Experiment, opt Options, seeds []int64, parallel 
 		for _, run := range r.runs {
 			run.Name = "seed=" + strconv.FormatInt(seeds[i], 10) + "/" + run.Name
 			out.Runs = append(out.Runs, run)
+		}
+		for _, d := range r.details {
+			d.ID = "seed=" + strconv.FormatInt(seeds[i], 10) + "/" + d.ID
+			out.Details = append(out.Details, d)
 		}
 		out.Wall += walls[i]
 	}
@@ -115,6 +135,9 @@ func WriteRunArtifacts(dir string, results []ExperimentArtifacts, bench artifact
 			return err
 		}
 		bench.Add(res.Table.ID, res.Wall, len(res.Runs), len(res.Table.Rows))
+		for _, d := range res.Details {
+			bench.AddDetail(d)
+		}
 	}
 	return artifact.WriteBench(filepath.Join(dir, "bench.json"), bench)
 }

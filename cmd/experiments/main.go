@@ -1,10 +1,10 @@
 // Command experiments regenerates every table and figure of the paper
-// as simulation outputs (the E1..E17 index in DESIGN.md).
+// as simulation outputs (the E1..E18 index in DESIGN.md).
 //
 // Usage:
 //
 //	experiments [-run E3,E5] [-quick] [-seed 7] [-list]
-//	            [-parallel N] [-seeds 1..32] [-format text|csv|markdown]
+//	            [-parallel N] [-shards N] [-seeds 1..32] [-format text|csv|markdown]
 //	            [-out DIR] [-cpuprofile FILE] [-memprofile FILE] [-exectrace FILE]
 //
 // Jobs fan out across a bounded worker pool (-parallel, default one
@@ -56,6 +56,7 @@ func run(args []string, stdout io.Writer) error {
 	ablations := fs.Bool("ablations", false, "run the design ablations (A1..A5) instead of the experiments")
 	format := fs.String("format", "text", "output format: text | csv | markdown")
 	parallel := fs.Int("parallel", runtime.NumCPU(), "worker pool size; 1 runs serially, output is identical either way")
+	shards := fs.Int("shards", 0, "worker goroutines per scenario rig (sharded tick engine); <=1 runs sequentially, output is identical either way")
 	seeds := fs.String("seeds", "", `seed sweep: "1..32", "3,5,9", or "x8" (derived from -seed); aggregates per-seed tables`)
 	outDir := fs.String("out", "", "write per-experiment artifact bundles and bench.json under this directory")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
@@ -111,7 +112,7 @@ func run(args []string, stdout io.Writer) error {
 		return nil
 	}
 
-	opt := coopmrm.Options{Seed: *seed, Quick: *quick}
+	opt := coopmrm.Options{Seed: *seed, Quick: *quick, Shards: *shards}
 
 	var seedList []int64
 	if *seeds != "" {

@@ -18,6 +18,12 @@ type Options struct {
 	// must never share a recorder; the parallel harness attaches one
 	// per job.
 	Artifacts *artifact.Recorder
+	// Shards > 1 runs scenario rigs on the sharded tick engine with
+	// that many worker goroutines. Output — tables, bundles, events —
+	// is byte-identical to Shards <= 1 (sequential); only wall time
+	// changes. Experiments that manage their own shard arms (E18)
+	// interpret it as the sharded arm's worker count.
+	Shards int
 }
 
 func (o Options) withDefaults() Options {
@@ -55,6 +61,7 @@ func AllExperiments() []Experiment {
 		{"E15", "Autonomous recovery from transient MRCs", "Sec. V future work", RunE15},
 		{"E16", "Fleet-size scale sweep: cooperation payoff per deployment size", "scale extension (deployment-level evaluation)", RunE16},
 		{"E17", "V2X chaos: partition duration x loss x reorder per class", "design: V2X robustness", RunE17},
+		{"E18", "Mega-fleet scale: sharded tick engine, 50-2000 pairs", "scale extension (infrastructure-level fleets)", RunE18},
 	}
 }
 

@@ -212,7 +212,8 @@ func (r Run) TraceSamples() []trace.Sample { return r.samples }
 // One recorder belongs to exactly one experiment job; the parallel
 // harness gives every job its own, so bundles stay deterministic.
 type Recorder struct {
-	runs []Run
+	runs    []Run
+	details []BenchDetail
 }
 
 // NewRecorder returns an empty recorder.
@@ -225,6 +226,19 @@ func (r *Recorder) Record(run Run) { r.runs = append(r.runs, run) }
 func (r *Recorder) Runs() []Run {
 	out := make([]Run, len(r.runs))
 	copy(out, r.runs)
+	return out
+}
+
+// RecordDetail appends one fine-grained bench measurement. Details
+// flow into bench.json, never into bundles — they carry wall-clock
+// throughput, which is exactly the quantity the determinism contract
+// keeps out of bundle bytes.
+func (r *Recorder) RecordDetail(d BenchDetail) { r.details = append(r.details, d) }
+
+// Details returns the recorded bench details in record order.
+func (r *Recorder) Details() []BenchDetail {
+	out := make([]BenchDetail, len(r.details))
+	copy(out, r.details)
 	return out
 }
 
@@ -361,6 +375,20 @@ type BenchExperiment struct {
 	Rows        int     `json:"rows"`
 }
 
+// BenchDetail is one fine-grained timing measurement inside an
+// experiment: a single rig run with its tick throughput and the shard
+// count that produced it. The E18 scaling claim lives here — the
+// experiment *table* must stay byte-deterministic, so anything derived
+// from the wall clock is reported through bench.json instead.
+type BenchDetail struct {
+	ID          string  `json:"id"` // experiment / arm label, e.g. "E18/pairs=500"
+	Shards      int     `json:"shards"`
+	Entities    int     `json:"entities"`
+	Ticks       int64   `json:"ticks"`
+	WallSeconds float64 `json:"wall_seconds"`
+	TicksPerSec float64 `json:"ticks_per_sec"`
+}
+
 // Bench is the run-level bench.json: wall-clock per experiment plus
 // the harness configuration that produced it. Unlike bundles it is
 // *not* byte-stable across runs — wall time is the payload.
@@ -372,6 +400,7 @@ type Bench struct {
 	Quick       bool              `json:"quick"`
 	WallSeconds float64           `json:"wall_seconds"`
 	Experiments []BenchExperiment `json:"experiments"`
+	Details     []BenchDetail     `json:"details,omitempty"`
 }
 
 // NewBench returns a bench report with the schema stamped.
@@ -391,6 +420,13 @@ func (b *Bench) Add(id string, wall time.Duration, runs, rows int) {
 		Rows:        rows,
 	})
 	b.WallSeconds += wall.Seconds()
+}
+
+// AddDetail appends one fine-grained measurement (its wall time is
+// already inside an experiment's Add total, so it does not accumulate
+// into WallSeconds again).
+func (b *Bench) AddDetail(d BenchDetail) {
+	b.Details = append(b.Details, d)
 }
 
 // WriteBench writes the bench report to path.

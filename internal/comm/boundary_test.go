@@ -1,0 +1,146 @@
+package comm
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// boundaryNet is a network with three registered endpoints and a
+// canonical sender order a < b < c.
+func boundaryNet(cfg NetConfig) *Network {
+	n := newNet(cfg)
+	for _, id := range []string{"a", "b", "c"} {
+		n.MustRegister(id)
+	}
+	n.SetBoundaryOrder(func(from string) int {
+		return map[string]int{"a": 0, "b": 1, "c": 2}[from]
+	})
+	return n
+}
+
+// Sends buffered during a boundary and flushed must be byte-identical
+// — same Seq, same SentAt, same delivery — to sending them directly in
+// canonical order, regardless of the order they were buffered in.
+func TestBoundaryReplayMatchesDirectSends(t *testing.T) {
+	cfg := NetConfig{Latency: 50 * time.Millisecond, Jitter: 30 * time.Millisecond}
+	msgs := func(n *Network) [][]Message {
+		// Canonical order: a's two sends, then b's, then c's.
+		in := []Message{
+			NewMessage("a", "c", TypeStatus, "t1", map[string]string{"k": "1"}),
+			NewMessage("a", Broadcast, TypeStatus, "t2", nil),
+			NewMessage("b", "a", TypeCommand, "t3", nil),
+			NewMessage("c", "b", TypeStatus, "t4", nil),
+		}
+		return [][]Message{in[:2], in[2:3], in[3:]}
+	}
+
+	direct := boundaryNet(cfg)
+	for _, group := range msgs(direct) {
+		for _, m := range group {
+			direct.Send(m)
+		}
+	}
+
+	deferred := boundaryNet(cfg)
+	deferred.BeginBoundary()
+	// Buffer in scrambled sender order (c, b, a) — per-sender program
+	// order preserved, cross-sender order not, exactly what concurrent
+	// workers produce.
+	groups := msgs(deferred)
+	for i := len(groups) - 1; i >= 0; i-- {
+		for _, m := range groups[i] {
+			deferred.Send(m)
+		}
+	}
+	deferred.FlushBoundary()
+
+	for _, d := range []time.Duration{0, 40 * time.Millisecond, 100 * time.Millisecond} {
+		direct.Deliver(d)
+		deferred.Deliver(d)
+		for _, id := range []string{"a", "b", "c"} {
+			got, want := deferred.Receive(id), direct.Receive(id)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("t=%v inbox %q: deferred %+v != direct %+v", d, id, got, want)
+			}
+		}
+	}
+	ds, dd := direct.Stats()
+	fs, fd := deferred.Stats()
+	if ds != fs || dd != fd {
+		t.Errorf("stats: deferred (%d,%d) != direct (%d,%d)", fs, fd, ds, dd)
+	}
+}
+
+// Send during a boundary defers: no Seq assigned, nothing in transit
+// until the flush.
+func TestBoundaryDefersSends(t *testing.T) {
+	n := boundaryNet(NetConfig{})
+	n.BeginBoundary()
+	if seq := n.Send(NewMessage("a", "b", TypeStatus, "x", nil)); seq != 0 {
+		t.Errorf("deferred Send returned seq %d, want 0", seq)
+	}
+	n.Deliver(0)
+	if got := n.Receive("b"); len(got) != 0 {
+		t.Errorf("message delivered before flush: %+v", got)
+	}
+	n.FlushBoundary()
+	n.Deliver(0)
+	if got := n.Receive("b"); len(got) != 1 || got[0].Seq != 1 {
+		t.Errorf("after flush: %+v", got)
+	}
+}
+
+// Concurrent buffering from worker goroutines must be safe under
+// -race; the flush afterwards replays all of it.
+func TestBoundaryConcurrentBuffering(t *testing.T) {
+	n := boundaryNet(NetConfig{})
+	n.BeginBoundary()
+	var wg sync.WaitGroup
+	for _, from := range []string{"a", "b", "c"} {
+		wg.Add(1)
+		go func(from string) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				n.Send(NewMessage(from, Broadcast, TypeStatus, "beacon", nil))
+			}
+		}(from)
+	}
+	wg.Wait()
+	n.FlushBoundary()
+	// Stats counts attempted deliveries: each broadcast fans out to the
+	// two other endpoints.
+	sent, _ := n.Stats()
+	if sent != 600 {
+		t.Errorf("sent = %d, want 600", sent)
+	}
+	n.Deliver(0)
+	// Each broadcast reaches the two other endpoints.
+	if got := len(n.Receive("a")); got != 200 {
+		t.Errorf("a received %d, want 200", got)
+	}
+}
+
+// An empty boundary is a no-op; a second flush without a begin too.
+func TestBoundaryEmptyFlush(t *testing.T) {
+	n := boundaryNet(NetConfig{})
+	n.BeginBoundary()
+	n.FlushBoundary()
+	n.FlushBoundary()
+	if sent, dropped := n.Stats(); sent != 0 || dropped != 0 {
+		t.Errorf("stats after empty flushes: %d, %d", sent, dropped)
+	}
+}
+
+// BeginBoundary without a sender order is a wiring bug and must fail
+// loudly, not silently buffer with an undefined replay order.
+func TestBeginBoundaryRequiresOrder(t *testing.T) {
+	n := newNet(NetConfig{})
+	defer func() {
+		if recover() == nil {
+			t.Error("BeginBoundary without SetBoundaryOrder must panic")
+		}
+	}()
+	n.BeginBoundary()
+}

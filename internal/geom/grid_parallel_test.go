@@ -1,0 +1,94 @@
+package geom
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// CandidatePairsParallel must return exactly CandidatePairs for any
+// worker count — same pairs, same order — on dense, sparse and
+// degenerate site sets.
+func TestCandidatePairsParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := []struct {
+		name  string
+		sites int
+		world float64
+	}{
+		{"dense", 500, 100},
+		{"sparse", 200, 5000},
+		{"tiny", 3, 50},
+		{"empty", 0, 50},
+	}
+	for _, tc := range cases {
+		g := NewGrid(30)
+		for i := 0; i < tc.sites; i++ {
+			g.Insert(i, V(rng.Float64()*tc.world-tc.world/2, rng.Float64()*tc.world-tc.world/2))
+		}
+		want := g.CandidatePairs(nil)
+		for _, workers := range []int{0, 1, 2, 3, 4, 8, 16} {
+			got := g.CandidatePairsParallel(nil, workers)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s workers=%d: %d pairs != sequential %d pairs",
+					tc.name, workers, len(got), len(want))
+			}
+		}
+	}
+}
+
+// The parallel path appends after existing buffer contents, like the
+// sequential path, and reuses worker buffers across calls.
+func TestCandidatePairsParallelAppendsAndReuses(t *testing.T) {
+	g := NewGrid(10)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		g.Insert(i, V(rng.Float64()*200, rng.Float64()*200))
+	}
+	prefix := [][2]int{{-1, -1}}
+	got := g.CandidatePairsParallel(prefix, 4)
+	if got[0] != [2]int{-1, -1} {
+		t.Fatal("existing buffer contents clobbered")
+	}
+	want := g.CandidatePairs(nil)
+	if !reflect.DeepEqual(got[1:], want) {
+		t.Error("appended pairs differ from sequential")
+	}
+	again := g.CandidatePairsParallel(nil, 4)
+	if !reflect.DeepEqual(again, want) {
+		t.Error("second call (reused worker buffers) differs")
+	}
+}
+
+// ShardOf is deterministic, in-range, and keeps same-cell points
+// together.
+func TestShardOf(t *testing.T) {
+	if ShardOf(V(5, 5), 30, 1) != 0 || ShardOf(V(5, 5), 30, 0) != 0 {
+		t.Error("shards<=1 must map to shard 0")
+	}
+	for _, shards := range []int{2, 4, 7} {
+		counts := make([]int, shards)
+		for i := 0; i < 1000; i++ {
+			p := V(float64(i%40)*25, float64(i/40)*25)
+			s := ShardOf(p, 30, shards)
+			if s < 0 || s >= shards {
+				t.Fatalf("ShardOf out of range: %d", s)
+			}
+			if s != ShardOf(p, 30, shards) {
+				t.Fatal("ShardOf not deterministic")
+			}
+			counts[s]++
+		}
+		for s, c := range counts {
+			if c == 0 {
+				t.Errorf("shards=%d: shard %d got no points (degenerate hash)", shards, s)
+			}
+		}
+	}
+	// Same cell, same shard — the property the scenario layer relies on.
+	if ShardOf(V(1, 1), 30, 8) != ShardOf(V(29, 29), 30, 8) {
+		t.Error("points in one cell landed on different shards")
+	}
+	// A non-positive cell size must not panic (clamped like Grid.Reset).
+	_ = ShardOf(V(1, 1), 0, 4)
+}

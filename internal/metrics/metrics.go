@@ -12,6 +12,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"coopmrm/internal/geom"
@@ -81,6 +82,15 @@ type Collector struct {
 	// arm of the differential tests and the baseline of the proximity
 	// benchmarks. Reports are identical either way.
 	UseBruteForce bool
+
+	// Workers > 1 fans the two embarrassingly-parallel pieces of a
+	// sample — the footprint cache fill (disjoint per-probe writes)
+	// and the broad-phase pair enumeration — across that many
+	// goroutines. The narrow phase (latch maps, event emits) stays
+	// sequential, so reports and emitted events are byte-identical for
+	// any worker count. Small fleets fall back to the sequential path
+	// (goroutine fan-out costs more than it saves below ~64 probes).
+	Workers int
 
 	taskUnits     float64
 	riskExposure  float64
@@ -181,15 +191,54 @@ func (c *Collector) Sample(env *sim.Env) {
 	c.pairSeen = true
 	// Footprint cache: each probe's Footprint() closure runs at most
 	// once per tick, whatever the pair count.
-	for i, p := range c.probes {
-		c.boxes[i] = p.Footprint()
-		c.halfDiag[i] = 0.5 * math.Hypot(c.boxes[i].Length, c.boxes[i].Width)
-	}
+	c.fillFootprints()
 	if c.UseBruteForce {
 		c.sampleBrute(env)
 	} else {
 		c.sampleIndexed(env)
 	}
+}
+
+// parallelFloor is the probe count below which fillFootprints stays
+// sequential even with Workers set: the goroutine fan-out overhead
+// exceeds the footprint work for small fleets.
+const parallelFloor = 64
+
+// fillFootprints populates the per-tick footprint and half-diagonal
+// caches, fanned across Workers goroutines over contiguous probe
+// chunks when the fleet is large enough. Each probe's slots are
+// written by exactly one worker and Footprint() only reads its own
+// constituent, so the fill is race-free and order-independent.
+func (c *Collector) fillFootprints() {
+	n := len(c.probes)
+	workers := c.Workers
+	if workers > n/parallelFloor {
+		workers = n / parallelFloor
+	}
+	if workers <= 1 {
+		for i, p := range c.probes {
+			c.boxes[i] = p.Footprint()
+			c.halfDiag[i] = 0.5 * math.Hypot(c.boxes[i].Length, c.boxes[i].Width)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				c.boxes[i] = c.probes[i].Footprint()
+				c.halfDiag[i] = 0.5 * math.Hypot(c.boxes[i].Length, c.boxes[i].Width)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
 }
 
 // sampleBrute scores every pair — the O(n²) oracle path.
@@ -224,7 +273,7 @@ func (c *Collector) sampleIndexed(env *sim.Env) {
 	for i := range c.boxes {
 		c.grid.Insert(i, c.boxes[i].Center)
 	}
-	c.pairBuf = c.grid.CandidatePairs(c.pairBuf[:0])
+	c.pairBuf = c.grid.CandidatePairsParallel(c.pairBuf[:0], c.Workers)
 	clear(c.scored)
 	for _, pr := range c.pairBuf {
 		c.scorePair(env, pr[0], pr[1])
@@ -290,11 +339,11 @@ func (c *Collector) scorePair(env *sim.Env, i, j int) {
 
 // Report summarises a finished run.
 type Report struct {
-	Duration      time.Duration
-	TaskUnits     float64
-	Productivity  float64 // task units per simulated minute
-	Collisions int
-	NearMisses int
+	Duration     time.Duration
+	TaskUnits    float64
+	Productivity float64 // task units per simulated minute
+	Collisions   int
+	NearMisses   int
 	// MinSeparation is the smallest footprint gap observed over any
 	// risk-relevant pair, clamped from above to the collector's
 	// NearMissDist (the broad-phase radius): separations beyond the

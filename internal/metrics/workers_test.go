@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+import "coopmrm/internal/geom"
+
+// Workers must be an invisible optimisation: a collector fanning the
+// footprint fill and broad-phase across goroutines reports exactly
+// what the sequential one does, event-for-event. The fleet is large
+// enough (>= 2*parallelFloor probes) that the parallel fill path
+// actually runs.
+func TestWorkersDifferential(t *testing.T) {
+	const n = 160
+	mkFleet := func() ([]*fakeVehicle, []Probe) {
+		vs := make([]*fakeVehicle, n)
+		probes := make([]Probe, n)
+		for i := range vs {
+			vs[i] = &fakeVehicle{mode: "nominal"}
+			probes[i] = vs[i].probe(string(rune('a'+i/26)) + string(rune('a'+i%26)))
+		}
+		return vs, probes
+	}
+	drive := func(workers int) (Report, []string) {
+		rng := rand.New(rand.NewSource(42))
+		vs, probes := mkFleet()
+		c := NewCollector(probes...)
+		c.Workers = workers
+		ev := env(100 * time.Millisecond)
+		for tick := 0; tick < 50; tick++ {
+			for _, v := range vs {
+				v.pos = geom.V(rng.Float64()*300-150, rng.Float64()*300-150)
+			}
+			c.Sample(ev)
+		}
+		var events []string
+		for _, e := range ev.Log.Events() {
+			events = append(events, string(e.Kind)+"/"+e.Subject+"/"+e.Detail)
+		}
+		return c.Report(), events
+	}
+	wantReport, wantEvents := drive(0)
+	if wantReport.NearMisses == 0 {
+		t.Fatal("fleet too sparse: no contacts to compare")
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		got, events := drive(workers)
+		if !reflect.DeepEqual(got, wantReport) {
+			t.Errorf("Workers=%d report diverged from sequential", workers)
+		}
+		if !reflect.DeepEqual(events, wantEvents) {
+			t.Errorf("Workers=%d event stream diverged from sequential", workers)
+		}
+	}
+}
+
+// Below the parallel floor the fill must stay sequential (tiny fleets
+// would pay goroutine overhead for nothing) yet still be correct.
+func TestWorkersSmallFleetSequentialFallback(t *testing.T) {
+	a := &fakeVehicle{pos: geom.V(0, 0), mode: "nominal"}
+	b := &fakeVehicle{pos: geom.V(4.5, 0), mode: "nominal"}
+	c := NewCollector(a.probe("a"), b.probe("b"))
+	c.Workers = 8
+	c.Sample(env(100 * time.Millisecond))
+	r := c.Report()
+	if r.NearMisses != 1 {
+		t.Errorf("near misses = %d, want 1", r.NearMisses)
+	}
+}

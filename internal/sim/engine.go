@@ -99,6 +99,7 @@ type Engine struct {
 	pre      []Hook
 	post     []Hook
 	stops    []StopCondition
+	shard    *shardState // non-nil when a multi-shard plan is installed
 }
 
 // NewEngine returns an engine for the given configuration.
@@ -182,8 +183,15 @@ func (e *Engine) Run() error {
 }
 
 // RunTick executes exactly one tick: pre hooks, entity steps in
-// registration order, post hooks, then the clock advances.
+// registration order, post hooks, then the clock advances. With a
+// shard plan installed (SetShardPlan) the entity loop runs the batch
+// schedule instead; the observable run — events, comm traffic, RNG
+// stream — is byte-identical either way.
 func (e *Engine) RunTick() {
+	if e.shard != nil {
+		e.runTickSharded()
+		return
+	}
 	for _, h := range e.pre {
 		h(e.env)
 	}

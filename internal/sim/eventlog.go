@@ -81,6 +81,21 @@ func (l *EventLog) Append(e Event) {
 	l.bySubject[e.Subject] = append(l.bySubject[e.Subject], i)
 }
 
+// resetKeepCapacity empties the log while retaining every backing
+// allocation (event array and index slices), so the sharded tick
+// loop's per-worker segment logs amortise to zero garbage. Events are
+// zeroed first to release their Fields maps.
+func (l *EventLog) resetKeepCapacity() {
+	clear(l.events)
+	l.events = l.events[:0]
+	for k, idx := range l.byKind {
+		l.byKind[k] = idx[:0]
+	}
+	for s, idx := range l.bySubject {
+		l.bySubject[s] = idx[:0]
+	}
+}
+
 // Len returns the number of recorded events.
 func (l *EventLog) Len() int { return len(l.events) }
 

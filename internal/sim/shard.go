@@ -1,0 +1,228 @@
+package sim
+
+import "sync"
+
+// ShardPlan describes how an engine may fan entity steps across worker
+// goroutines while keeping the run byte-identical to the sequential
+// tick loop. The plan splits the registration order into *strata*:
+// Stratum labels each entity with a small non-negative class number
+// when every entity of that class may step concurrently with its
+// classmates (no same-class reads or writes of shared mutable state),
+// or a negative number when the entity must step sequentially. Maximal
+// runs of consecutive same-label entities become batches; parallel
+// batches are partitioned across Shards workers by Assign and joined
+// at a barrier before the next batch starts, so cross-class reads only
+// ever observe fully-stepped earlier strata — exactly what the
+// sequential loop guarantees.
+//
+// Determinism within a parallel batch rests on three pillars, each
+// owned by a different layer:
+//
+//  1. entities of one stratum never read each other's state (the
+//     caller's audit — Stratum is a promise, not a check);
+//  2. side effects that do serialise — comm sends, event emits — are
+//     deferred per worker and replayed at the barrier in registration
+//     order (BeginParallel/EndParallel for the network; the per-shard
+//     event logs merged by the engine itself);
+//  3. shard assignment is a pure function of entity state at the top
+//     of the batch (Assign sees the entity before any classmate has
+//     stepped), so the partition is schedule-independent.
+type ShardPlan struct {
+	// Shards is the worker count. Plans with Shards <= 1 disable
+	// sharding entirely (SetShardPlan reverts to the sequential loop).
+	Shards int
+	// Stratum labels an entity's parallel class; negative means the
+	// entity steps sequentially. Called once per entity when the batch
+	// layout is (re)built, so it must depend only on the entity's
+	// static identity (in practice: its Go type).
+	Stratum func(Entity) int
+	// Assign maps an entity to a worker in [0, shards) at the top of
+	// every parallel batch. Out-of-range results clamp to shard 0.
+	Assign func(ent Entity, shards int) int
+	// BeginParallel and EndParallel bracket every parallel batch on the
+	// main goroutine (before the workers start / after they join and
+	// the logs merge). The scenario layer uses them to put the comm
+	// network into boundary mode and flush it in canonical order.
+	BeginParallel func(env *Env)
+	EndParallel   func(env *Env)
+}
+
+// batch is one maximal run of consecutive entities sharing a stratum
+// label, [start, end) in registration order.
+type batch struct {
+	start, end int
+	parallel   bool
+}
+
+// shardState is the engine's sharded-loop scratch: batch layout plus
+// per-worker environments and the bookkeeping that merges per-shard
+// event-log segments back into registration order. Everything is
+// reused across ticks, so the steady-state sharded tick allocates
+// nothing beyond what the entities themselves do.
+type shardState struct {
+	plan    ShardPlan
+	batches []batch
+	built   int // len(entities) the batches were built for
+
+	envs   []*Env  // per-worker envs: shared clock, nil RNG, private log
+	lists  [][]int // per-worker entity indices for the current batch
+	which  []int   // entity index -> worker of the current batch
+	endOff []int   // entity index -> its worker's log length after its step
+	cursor []int   // per-worker merge cursor
+	panics []any   // first panic per worker, re-raised after the join
+}
+
+// SetShardPlan installs (or, with Shards <= 1, removes) a sharded tick
+// plan. Panics if a multi-shard plan omits Stratum or Assign. The
+// per-worker Envs share the engine clock but carry a nil RNG: no
+// entity audited as parallel-safe draws randomness during Step, and a
+// nil-pointer panic on first use is a loud, deterministic failure
+// where a silently shared RNG would be a race and a determinism leak.
+func (e *Engine) SetShardPlan(p ShardPlan) {
+	if p.Shards <= 1 {
+		e.shard = nil
+		return
+	}
+	if p.Stratum == nil || p.Assign == nil {
+		panic("sim: ShardPlan with Shards > 1 requires Stratum and Assign")
+	}
+	s := &shardState{
+		plan:   p,
+		envs:   make([]*Env, p.Shards),
+		lists:  make([][]int, p.Shards),
+		cursor: make([]int, p.Shards),
+		panics: make([]any, p.Shards),
+	}
+	for w := range s.envs {
+		s.envs[w] = &Env{Clock: e.env.Clock, Log: NewEventLog()}
+	}
+	e.shard = s
+}
+
+// ensureBatches (re)builds the batch layout when entities were
+// registered since the last build. Registration is append-only, so the
+// entity count is a sufficient cache key.
+func (s *shardState) ensureBatches(entities []Entity) {
+	if s.built == len(entities) {
+		return
+	}
+	s.batches = s.batches[:0]
+	i := 0
+	for i < len(entities) {
+		label := s.plan.Stratum(entities[i])
+		j := i + 1
+		for j < len(entities) && s.plan.Stratum(entities[j]) == label {
+			j++
+		}
+		// A run of one gains nothing from a goroutine; sequential and
+		// single-entity runs merge with an adjacent sequential batch.
+		par := label >= 0 && j-i > 1
+		if !par && len(s.batches) > 0 && !s.batches[len(s.batches)-1].parallel {
+			s.batches[len(s.batches)-1].end = j
+		} else {
+			s.batches = append(s.batches, batch{start: i, end: j, parallel: par})
+		}
+		i = j
+	}
+	for len(s.which) < len(entities) {
+		s.which = append(s.which, 0)
+		s.endOff = append(s.endOff, 0)
+	}
+	s.built = len(entities)
+}
+
+// runTickSharded is RunTick with the entity loop replaced by the batch
+// schedule. Pre hooks, post hooks, and the clock advance are untouched
+// — they always run on the main goroutine.
+func (e *Engine) runTickSharded() {
+	for _, h := range e.pre {
+		h(e.env)
+	}
+	s := e.shard
+	s.ensureBatches(e.entities)
+	for _, b := range s.batches {
+		if !b.parallel {
+			for i := b.start; i < b.end; i++ {
+				e.entities[i].Step(e.env)
+			}
+			continue
+		}
+		s.runParallelBatch(e, b)
+	}
+	for _, h := range e.post {
+		h(e.env)
+	}
+	e.env.Clock.Advance()
+}
+
+// runParallelBatch steps one parallel batch: partition by Assign, one
+// worker goroutine per non-empty shard stepping its entities in
+// ascending registration order into a private event log, barrier,
+// then merge the per-shard log segments back into the main log in
+// registration order. Each entity's segment is delimited by the log
+// length its worker recorded right after its step, so the merged
+// sequence is exactly what the sequential loop would have appended.
+func (s *shardState) runParallelBatch(e *Engine, b batch) {
+	n := s.plan.Shards
+	for w := 0; w < n; w++ {
+		s.lists[w] = s.lists[w][:0]
+		s.panics[w] = nil
+	}
+	for i := b.start; i < b.end; i++ {
+		w := s.plan.Assign(e.entities[i], n)
+		if w < 0 || w >= n {
+			w = 0
+		}
+		s.which[i] = w
+		s.lists[w] = append(s.lists[w], i)
+	}
+	if s.plan.BeginParallel != nil {
+		s.plan.BeginParallel(e.env)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		if len(s.lists[w]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					s.panics[w] = r
+				}
+			}()
+			env := s.envs[w]
+			for _, i := range s.lists[w] {
+				e.entities[i].Step(env)
+				s.endOff[i] = env.Log.Len()
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < n; w++ {
+		if r := s.panics[w]; r != nil {
+			// Re-raise the lowest-shard panic on the main goroutine so a
+			// failing entity aborts the run the same way it would have
+			// sequentially (workers for later shards have already joined).
+			panic(r)
+		}
+	}
+	for w := 0; w < n; w++ {
+		s.cursor[w] = 0
+	}
+	for i := b.start; i < b.end; i++ {
+		w := s.which[i]
+		seg := s.envs[w].Log
+		for j := s.cursor[w]; j < s.endOff[i]; j++ {
+			e.env.Log.Append(seg.events[j])
+		}
+		s.cursor[w] = s.endOff[i]
+	}
+	for w := 0; w < n; w++ {
+		s.envs[w].Log.resetKeepCapacity()
+	}
+	if s.plan.EndParallel != nil {
+		s.plan.EndParallel(e.env)
+	}
+}

@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// emitter is a parallel-safe test entity: it touches only its own
+// state and emits a per-step event, so log merge order is observable.
+type emitter struct {
+	id    string
+	kind  int // stratum label
+	steps int
+}
+
+func (e *emitter) ID() string { return e.id }
+func (e *emitter) Step(env *Env) {
+	e.steps++
+	env.Emit(EventInfo, e.id, fmt.Sprintf("step %d", e.steps))
+}
+
+// sharder labels emitters by their kind field and assigns them to
+// workers by a stable hash of the ID, mimicking the spatial Assign of
+// the scenario layer (pure function of pre-batch state).
+func testPlan(shards int) ShardPlan {
+	return ShardPlan{
+		Shards: shards,
+		Stratum: func(ent Entity) int {
+			if e, ok := ent.(*emitter); ok {
+				return e.kind
+			}
+			return -1
+		},
+		Assign: func(ent Entity, n int) int {
+			h := 0
+			for _, c := range ent.ID() {
+				h = h*31 + int(c)
+			}
+			return h % n
+		},
+	}
+}
+
+// buildMixed registers a registration order that exercises every batch
+// shape: a parallel run, a sequential singleton sandwiched between
+// runs, a second parallel stratum, and a trailing sequential run.
+func buildMixed(e *Engine) {
+	for i := 0; i < 6; i++ {
+		e.MustRegister(&emitter{id: fmt.Sprintf("a%d", i), kind: 0})
+	}
+	e.MustRegister(&emitter{id: "solo", kind: -1})
+	for i := 0; i < 5; i++ {
+		e.MustRegister(&emitter{id: fmt.Sprintf("b%d", i), kind: 1})
+	}
+	e.MustRegister(&emitter{id: "tail0", kind: -1})
+	e.MustRegister(&emitter{id: "tail1", kind: -1})
+}
+
+// The sharded loop must reproduce the sequential event stream exactly,
+// for any shard count.
+func TestShardedTickMatchesSequential(t *testing.T) {
+	run := func(shards int) []Event {
+		e := NewEngine(Config{Step: 10 * time.Millisecond})
+		buildMixed(e)
+		if shards > 1 {
+			e.SetShardPlan(testPlan(shards))
+		}
+		e.RunFor(100 * time.Millisecond)
+		return e.Env().Log.Events()
+	}
+	want := run(1)
+	if len(want) == 0 {
+		t.Fatal("sequential run produced no events")
+	}
+	for _, shards := range []int{2, 3, 4, 8, 17} {
+		if got := run(shards); !reflect.DeepEqual(got, want) {
+			t.Errorf("shards=%d event stream diverged from sequential", shards)
+		}
+	}
+}
+
+// Indexed queries on the merged log must work: the sharded merge goes
+// through Append, which maintains the byKind/bySubject indexes.
+func TestShardedLogIndexesIntact(t *testing.T) {
+	e := NewEngine(Config{Step: 10 * time.Millisecond})
+	buildMixed(e)
+	e.SetShardPlan(testPlan(4))
+	e.RunFor(50 * time.Millisecond)
+	l := e.Env().Log
+	if got := len(l.BySubject("a3")); got != 5 {
+		t.Errorf("BySubject(a3) = %d events, want 5", got)
+	}
+	if l.Count(EventInfo) != l.Len() {
+		t.Errorf("Count(info) = %d, Len = %d", l.Count(EventInfo), l.Len())
+	}
+}
+
+// Batch layout: maximal same-stratum runs become batches; sequential
+// and single-entity runs merge with adjacent sequential batches.
+func TestShardBatchLayout(t *testing.T) {
+	e := NewEngine(Config{Step: 10 * time.Millisecond})
+	buildMixed(e)
+	e.SetShardPlan(testPlan(2))
+	e.shard.ensureBatches(e.entities)
+	got := make([]string, len(e.shard.batches))
+	for i, b := range e.shard.batches {
+		mode := "seq"
+		if b.parallel {
+			mode = "par"
+		}
+		got[i] = fmt.Sprintf("%s[%d,%d)", mode, b.start, b.end)
+	}
+	want := []string{"par[0,6)", "seq[6,7)", "par[7,12)", "seq[12,14)"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("batches = %v, want %v", got, want)
+	}
+}
+
+// A lone parallel-labelled entity gains nothing from a goroutine and
+// must fold into the neighbouring sequential batch.
+func TestShardSingletonRunStaysSequential(t *testing.T) {
+	e := NewEngine(Config{Step: 10 * time.Millisecond})
+	e.MustRegister(&emitter{id: "s0", kind: -1})
+	e.MustRegister(&emitter{id: "lone", kind: 0})
+	e.MustRegister(&emitter{id: "s1", kind: -1})
+	e.SetShardPlan(testPlan(4))
+	e.shard.ensureBatches(e.entities)
+	if n := len(e.shard.batches); n != 1 {
+		t.Fatalf("batches = %d, want 1 merged sequential batch", n)
+	}
+	if b := e.shard.batches[0]; b.parallel || b.start != 0 || b.end != 3 {
+		t.Errorf("batch = %+v, want sequential [0,3)", b)
+	}
+}
+
+// Late registration invalidates the cached layout.
+func TestShardBatchesRebuiltOnRegistration(t *testing.T) {
+	e := NewEngine(Config{Step: 10 * time.Millisecond})
+	for i := 0; i < 4; i++ {
+		e.MustRegister(&emitter{id: fmt.Sprintf("a%d", i), kind: 0})
+	}
+	e.SetShardPlan(testPlan(2))
+	e.RunTick()
+	e.MustRegister(&emitter{id: "late", kind: 0})
+	e.RunTick()
+	late, _ := e.Lookup("late")
+	if late.(*emitter).steps != 1 {
+		t.Errorf("late entity steps = %d, want 1", late.(*emitter).steps)
+	}
+	if b := e.shard.batches[len(e.shard.batches)-1]; b.end != 5 {
+		t.Errorf("last batch end = %d, want 5 after late registration", b.end)
+	}
+}
+
+// BeginParallel/EndParallel bracket every parallel batch, on the main
+// goroutine, in batch order.
+func TestShardParallelBrackets(t *testing.T) {
+	e := NewEngine(Config{Step: 10 * time.Millisecond})
+	buildMixed(e) // two parallel batches per tick
+	plan := testPlan(2)
+	var seq []string
+	plan.BeginParallel = func(env *Env) { seq = append(seq, "begin") }
+	plan.EndParallel = func(env *Env) { seq = append(seq, "end") }
+	e.SetShardPlan(plan)
+	e.RunTick()
+	if got := strings.Join(seq, ","); got != "begin,end,begin,end" {
+		t.Errorf("bracket sequence = %q", got)
+	}
+}
+
+// A panicking entity must abort the run on the main goroutine, like it
+// would sequentially — not kill a worker silently.
+func TestShardWorkerPanicPropagates(t *testing.T) {
+	e := NewEngine(Config{Step: 10 * time.Millisecond})
+	for i := 0; i < 4; i++ {
+		e.MustRegister(&emitter{id: fmt.Sprintf("a%d", i), kind: 0})
+	}
+	e.MustRegister(&bomb{id: "boom"})
+	for i := 0; i < 3; i++ {
+		e.MustRegister(&emitter{id: fmt.Sprintf("c%d", i), kind: 0})
+	}
+	e.SetShardPlan(ShardPlan{
+		Shards:  3,
+		Stratum: func(Entity) int { return 0 },
+		Assign:  testPlan(3).Assign,
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("worker panic was swallowed")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "bomb") {
+			t.Errorf("recovered %v, want the entity's panic value", r)
+		}
+	}()
+	e.RunTick()
+}
+
+type bomb struct{ id string }
+
+func (b *bomb) ID() string    { return b.id }
+func (b *bomb) Step(env *Env) { panic("bomb: " + b.id) }
+
+// SetShardPlan validation and the Shards<=1 escape hatch.
+func TestSetShardPlanValidation(t *testing.T) {
+	e := NewEngine(Config{})
+	e.SetShardPlan(ShardPlan{Shards: 1}) // no Stratum/Assign needed
+	if e.shard != nil {
+		t.Error("Shards=1 must disable sharding")
+	}
+	e.SetShardPlan(testPlan(4))
+	if e.shard == nil {
+		t.Fatal("plan not installed")
+	}
+	e.SetShardPlan(ShardPlan{Shards: 0})
+	if e.shard != nil {
+		t.Error("Shards=0 must remove an installed plan")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("multi-shard plan without Stratum/Assign must panic")
+		}
+	}()
+	e.SetShardPlan(ShardPlan{Shards: 2})
+}
+
+// Out-of-range Assign results clamp to shard 0 instead of crashing.
+func TestShardAssignClamps(t *testing.T) {
+	e := NewEngine(Config{Step: 10 * time.Millisecond})
+	for i := 0; i < 4; i++ {
+		e.MustRegister(&emitter{id: fmt.Sprintf("a%d", i), kind: 0})
+	}
+	e.SetShardPlan(ShardPlan{
+		Shards:  2,
+		Stratum: func(Entity) int { return 0 },
+		Assign:  func(ent Entity, n int) int { return 99 },
+	})
+	e.RunTick()
+	for _, ent := range e.Entities() {
+		if ent.(*emitter).steps != 1 {
+			t.Errorf("%s steps = %d, want 1", ent.ID(), ent.(*emitter).steps)
+		}
+	}
+}
+
+// resetKeepCapacity must leave a log empty but with its indexes alive.
+func TestEventLogResetKeepCapacity(t *testing.T) {
+	l := NewEventLog()
+	l.Append(Event{Kind: EventInfo, Subject: "x"})
+	l.Append(Event{Kind: EventMRMStarted, Subject: "y"})
+	l.resetKeepCapacity()
+	if l.Len() != 0 || len(l.ByKind(EventInfo)) != 0 || len(l.BySubject("x")) != 0 {
+		t.Errorf("reset log not empty: len=%d", l.Len())
+	}
+	l.Append(Event{Kind: EventInfo, Subject: "x"})
+	if l.Len() != 1 || len(l.BySubject("x")) != 1 {
+		t.Error("log unusable after reset")
+	}
+}

@@ -27,6 +27,12 @@ func ParseSeedSpec(spec string, base int64) ([]int64, error) {
 		if err != nil || n < 1 {
 			return nil, fmt.Errorf("seed spec %q: want x<count>, e.g. x8", spec)
 		}
+		// Same cap as the <lo>..<hi> form: the list is allocated up
+		// front, so an oversized count would eat gigabytes before the
+		// runner ever starts.
+		if n > 1<<20 {
+			return nil, fmt.Errorf("seed spec %q: range too large", spec)
+		}
 		seeds := make([]int64, n)
 		for i := range seeds {
 			seeds[i] = DeriveSeed(base, i)
@@ -136,7 +142,7 @@ func seedSpan(seeds []int64) string {
 		}
 		return strings.Join(parts, ",")
 	}
-	return fmt.Sprintf("%d..%d and %d more", seeds[0], seeds[1], len(seeds)-2)
+	return fmt.Sprintf("%d..%d (%d seeds)", seeds[0], seeds[len(seeds)-1], len(seeds))
 }
 
 func aggregateCell(cells []string) string {
@@ -151,10 +157,18 @@ func aggregateCell(cells []string) string {
 		return cells[0]
 	}
 	vals := make([]float64, len(cells))
-	numeric := true
+	numeric, allPct := true, true
 	for i, c := range cells {
-		v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimSuffix(c, "%")), 64)
-		if err != nil {
+		trimmed := strings.TrimSpace(c)
+		stripped := strings.TrimSuffix(trimmed, "%")
+		if stripped == trimmed {
+			allPct = false
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(stripped), 64)
+		// ParseFloat happily accepts "NaN" and "Inf"; a non-finite cell
+		// cannot contribute to mean±sd, so treat it as non-numeric and
+		// fall through to the varies(n) rendering.
+		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
 			numeric = false
 			break
 		}
@@ -177,5 +191,11 @@ func aggregateCell(cells []string) string {
 		ss += (v - mean) * (v - mean)
 	}
 	sd := math.Sqrt(ss / float64(len(vals)))
-	return fmt.Sprintf("%.2f±%.2f", mean, sd)
+	// When every cell carried the % unit, keep it on the aggregate so
+	// "50%"/"60%" reads "55.00±5.00%", not a unitless number.
+	unit := ""
+	if allPct {
+		unit = "%"
+	}
+	return fmt.Sprintf("%.2f±%.2f%s", mean, sd, unit)
 }

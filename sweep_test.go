@@ -41,6 +41,78 @@ func TestParseSeedSpec(t *testing.T) {
 	}
 }
 
+// The x<count> form shares the allocation cap of the <lo>..<hi> form:
+// both build the full seed list up front.
+func TestParseSeedSpecRangeCap(t *testing.T) {
+	for _, bad := range []string{"x1048577", "1..1048577"} {
+		if _, err := ParseSeedSpec(bad, 1); err == nil ||
+			!strings.Contains(err.Error(), "range too large") {
+			t.Errorf("spec %q: err = %v, want range-too-large error", bad, err)
+		}
+	}
+	// The cap itself is allowed on both forms.
+	if seeds, err := ParseSeedSpec("x1048576", 1); err != nil || len(seeds) != 1<<20 {
+		t.Errorf("x-form at the cap: %d seeds, %v", len(seeds), err)
+	}
+	if seeds, err := ParseSeedSpec("1..1048576", 1); err != nil || len(seeds) != 1<<20 {
+		t.Errorf("range form at the cap: %d seeds, %v", len(seeds), err)
+	}
+}
+
+// seedSpan prints short lists verbatim and long lists as their true
+// span — first..last with the count, never a misleading "and N more"
+// anchored on the second element.
+func TestSeedSpan(t *testing.T) {
+	mk := func(n int) []int64 {
+		seeds := make([]int64, n)
+		for i := range seeds {
+			seeds[i] = int64(i + 1)
+		}
+		return seeds
+	}
+	cases := []struct {
+		seeds []int64
+		want  string
+	}{
+		{nil, ""},
+		{mk(1), "1"},
+		{mk(4), "1,2,3,4"},
+		{mk(5), "1..5 (5 seeds)"},
+		{mk(32), "1..32 (32 seeds)"},
+		{[]int64{10, 3, 99, 7, 42}, "10..42 (5 seeds)"}, // first..last, not min..max
+	}
+	for _, tc := range cases {
+		if got := seedSpan(tc.seeds); got != tc.want {
+			t.Errorf("seedSpan(%v) = %q, want %q", tc.seeds, got, tc.want)
+		}
+	}
+}
+
+// aggregateCell unit handling: the % suffix survives aggregation when
+// every cell carries it, and non-finite parses never reach mean±sd.
+func TestAggregateCellUnits(t *testing.T) {
+	cases := []struct {
+		name  string
+		cells []string
+		want  string
+	}{
+		{"identical kept verbatim", []string{"52.1%", "52.1%", "52.1%"}, "52.1%"},
+		{"all percent", []string{"50%", "60%"}, "55.00±5.00%"},
+		{"percent with spaces", []string{" 50% ", "60%"}, "55.00±5.00%"},
+		{"mixed unit drops suffix", []string{"50%", "60"}, "55.00±5.00"},
+		{"plain numeric", []string{"1.0", "3.0", "2.0"}, "2.00±0.82"},
+		{"NaN is non-numeric", []string{"NaN", "2.0"}, "varies(2)"},
+		{"Inf is non-numeric", []string{"+Inf", "2.0", "3.0"}, "varies(3)"},
+		{"NaN percent", []string{"NaN%", "50%"}, "varies(2)"},
+		{"divergent text", []string{"yes", "no", "yes"}, "varies(2)"},
+	}
+	for _, tc := range cases {
+		if got := aggregateCell(tc.cells); got != tc.want {
+			t.Errorf("%s: aggregateCell(%v) = %q, want %q", tc.name, tc.cells, got, tc.want)
+		}
+	}
+}
+
 func TestDeriveSeedProperties(t *testing.T) {
 	seen := map[int64]bool{}
 	for job := 0; job < 1000; job++ {
@@ -80,6 +152,32 @@ func TestAggregateSeedTables(t *testing.T) {
 	}
 	if !strings.Contains(agg.Note, "aggregated over 3 seeds (1,2,3)") {
 		t.Errorf("note = %q", agg.Note)
+	}
+}
+
+// The sharded tick engine must be invisible in aggregated sweeps: a
+// seed sweep with every rig running on 4 shards renders the exact
+// table of the sequential sweep, on the E16 reroute experiment and on
+// the E17 chaos experiment (whose zero-chaos arm is the control).
+func TestSweepSeedsShardedMatchesSequential(t *testing.T) {
+	seeds := []int64{1, 2}
+	for _, id := range []string{"E16", "E17"} {
+		e, ok := ExperimentByID(id)
+		if !ok {
+			t.Fatalf("experiment %s missing", id)
+		}
+		seq, err := SweepSeeds(e, Options{Quick: true}, seeds, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shd, err := SweepSeeds(e, Options{Quick: true, Shards: 4}, seeds, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.Render() != shd.Render() {
+			t.Errorf("%s sweep differs between shards=1 and shards=4:\n%s\nvs\n%s",
+				id, seq.Render(), shd.Render())
+		}
 	}
 }
 
