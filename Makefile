@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race vet lint bench benchdiff microbench
+.PHONY: build test check race vet lint bench benchdiff microbench campaign-smoke
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,28 @@ benchdiff:
 	rm -rf .bench-out
 	$(GO) run ./cmd/experiments -quick -parallel 1 -out .bench-out >/dev/null
 	$(GO) run ./cmd/benchdiff -threshold 0.5 BENCH_quick.json .bench-out/bench.json
+
+# campaign-smoke is the end-to-end exercise of the streaming campaign
+# path: run a small E1 sweep uninterrupted, run the same campaign
+# aborted mid-flight (-abort-after, the deterministic stand-in for a
+# kill), resume it from the checkpoint, and require the resumed output
+# to be byte-identical to the uninterrupted run. Exit 1 on any
+# divergence — this is the checkpoint/resume contract, not a timing
+# gate, so CI runs it blocking.
+campaign-smoke:
+	rm -rf .campaign-smoke && mkdir -p .campaign-smoke
+	$(GO) run ./cmd/experiments -quick -run E1 -seeds 1..8 -stream \
+		>.campaign-smoke/uninterrupted.txt
+	-$(GO) run ./cmd/experiments -quick -run E1 -seeds 1..8 -stream \
+		-checkpoint .campaign-smoke/campaign.json -checkpoint-every 2 \
+		-abort-after 4 >/dev/null 2>&1
+	test -s .campaign-smoke/campaign.json
+	$(GO) run ./cmd/experiments -quick -run E1 -seeds 1..8 -stream \
+		-checkpoint .campaign-smoke/campaign.json -resume \
+		>.campaign-smoke/resumed.txt
+	cmp .campaign-smoke/uninterrupted.txt .campaign-smoke/resumed.txt
+	rm -rf .campaign-smoke
+	@echo "campaign-smoke: resumed output byte-identical"
 
 # microbench runs the Go micro-benchmarks with allocation accounting:
 # the per-artefact experiment benchmarks plus the hot-path pairs

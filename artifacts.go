@@ -2,6 +2,7 @@ package coopmrm
 
 import (
 	"context"
+	"math"
 	"path/filepath"
 	"strconv"
 	"time"
@@ -40,13 +41,19 @@ func (o Options) ObserveBench(d artifact.BenchDetail) {
 }
 
 // ExperimentArtifacts couples one experiment's table with the rig runs
-// it recorded and the wall-clock time the job took.
+// it recorded and the wall-clock time the job took. For seed sweeps
+// Wall is the per-seed sum and WallSd/WallN carry the sample standard
+// deviation and count of the per-seed walls — the variance that lets
+// benchdiff gate on a confidence interval instead of a fixed
+// threshold.
 type ExperimentArtifacts struct {
 	Experiment Experiment
 	Table      Table
 	Runs       []artifact.Run
 	Details    []artifact.BenchDetail
 	Wall       time.Duration
+	WallSd     time.Duration
+	WallN      int
 }
 
 // RunSetWithArtifacts is RunSet with observability: every job gets its
@@ -111,7 +118,48 @@ func SweepSeedsWithArtifacts(e Experiment, opt Options, seeds []int64, parallel 
 		out.Wall += walls[i]
 	}
 	out.Table = AggregateSeedTables(tables, seeds)
+	out.WallSd, out.WallN = wallStats(walls)
 	return out, nil
+}
+
+// wallStats reduces per-seed wall times to their Bessel-corrected
+// sample standard deviation and count.
+func wallStats(walls []time.Duration) (time.Duration, int) {
+	n := len(walls)
+	if n < 2 {
+		return 0, n
+	}
+	var mean, m2 float64
+	for i, w := range walls {
+		d := w.Seconds() - mean
+		mean += d / float64(i+1)
+		m2 += d * (w.Seconds() - mean)
+	}
+	sd := math.Sqrt(math.Max(m2, 0) / float64(n-1))
+	return time.Duration(sd * float64(time.Second)), n
+}
+
+// SweepSeedsStreamWithArtifacts is SweepSeedsStream with
+// observability. Unlike the retained-path sweep it cannot capture
+// every run — that would be O(seeds) memory again — so bundle capture
+// is capped to the campaign's first few seeds (merged in seed order
+// under the usual "seed=<s>/" prefix); per-seed wall statistics cover
+// every seed run in this process.
+func SweepSeedsStreamWithArtifacts(e Experiment, opt Options, seeds []int64, parallel int,
+	cfg CampaignConfig) (ExperimentArtifacts, error) {
+	table, sc, err := sweepSeedsStream(e, opt, seeds, parallel, cfg, true)
+	if err != nil {
+		return ExperimentArtifacts{}, err
+	}
+	return ExperimentArtifacts{
+		Experiment: e,
+		Table:      table,
+		Runs:       sc.runs,
+		Details:    sc.details,
+		Wall:       sc.wall,
+		WallSd:     sc.wallSd(),
+		WallN:      int(sc.wallN),
+	}, nil
 }
 
 // WriteRunArtifacts writes one artifact bundle per experiment under
@@ -134,7 +182,7 @@ func WriteRunArtifacts(dir string, results []ExperimentArtifacts, bench artifact
 		if err := artifact.WriteBundle(dir, b); err != nil {
 			return err
 		}
-		bench.Add(res.Table.ID, res.Wall, len(res.Runs), len(res.Table.Rows))
+		bench.AddStats(res.Table.ID, res.Wall, res.WallSd, res.WallN, len(res.Runs), len(res.Table.Rows))
 		for _, d := range res.Details {
 			bench.AddDetail(d)
 		}

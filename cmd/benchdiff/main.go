@@ -23,6 +23,17 @@
 // excluded from the verdict (their relative noise is unbounded — a
 // 60 ms experiment swings ±50% between back-to-back runs on a busy
 // machine) but their deltas are still printed.
+//
+// Variance-aware verdict: when the OLD report carries per-seed wall
+// statistics (wall_sd_seconds/wall_samples, written by seed-sweep
+// campaigns), the fixed threshold is replaced for that experiment by a
+// 95% confidence bound on the difference of two campaign totals —
+// regression iff new - old > 1.96 · sd · √(2n). Statistical evidence
+// beats a one-size-fits-all fraction wherever it exists.
+//
+// A baseline entry with zero recorded wall can never produce a finite
+// slowdown fraction; when the new wall is above the noise floor it is
+// flagged explicitly instead of silently passing.
 package main
 
 import (
@@ -30,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"coopmrm/internal/artifact"
@@ -40,6 +52,9 @@ import (
 // doubles is scheduler noise, not a regression. The total always
 // gates regardless.
 const MinSeconds = 0.1
+
+// zCI is the normal 95% critical value for the variance-aware verdict.
+const zCI = 1.96
 
 func main() {
 	code, err := run(os.Args[1:], os.Stdout)
@@ -107,11 +122,30 @@ func diff(w io.Writer, old, new_ artifact.Bench, threshold float64) int {
 		}
 		d := ne.WallSeconds - oe.WallSeconds
 		frac := 0.0
-		if oe.WallSeconds > 0 {
+		switch {
+		case oe.WallSeconds > 0:
 			frac = d / oe.WallSeconds
+		case ne.WallSeconds > 0:
+			// A zero-wall baseline admits no finite fraction — leaving
+			// frac at 0 here used to make such regressions unflaggable.
+			frac = math.Inf(1)
 		}
 		marker := ""
-		if threshold > 0 && frac > threshold && oe.WallSeconds >= MinSeconds && ne.WallSeconds >= MinSeconds {
+		switch {
+		case oe.WallSdSeconds > 0 && oe.WallSamples >= 2:
+			// Variance-aware verdict: the baseline is a campaign total
+			// over n per-seed samples with sd s, so the difference of
+			// two such totals has sd s·√(2n); flag beyond the 95%
+			// bound. The noise floor still applies.
+			bound := zCI * oe.WallSdSeconds * math.Sqrt(2*float64(oe.WallSamples))
+			if d > bound && oe.WallSeconds >= MinSeconds && ne.WallSeconds >= MinSeconds {
+				marker = fmt.Sprintf("  REGRESSION (> 95%% CI +%.4fs, n=%d)", bound, oe.WallSamples)
+				regressions++
+			}
+		case oe.WallSeconds == 0 && ne.WallSeconds >= MinSeconds:
+			marker = "  REGRESSION (baseline 0s)"
+			regressions++
+		case threshold > 0 && frac > threshold && oe.WallSeconds >= MinSeconds && ne.WallSeconds >= MinSeconds:
 			marker = fmt.Sprintf("  REGRESSION (> %+.0f%%)", threshold*100)
 			regressions++
 		}
@@ -136,7 +170,7 @@ func diff(w io.Writer, old, new_ artifact.Bench, threshold float64) int {
 	fmt.Fprintf(w, "%-6s %12.4f %12.4f %+12.4f %+8.1f%%%s\n",
 		"total", old.WallSeconds, new_.WallSeconds, totalDelta, totalFrac*100, marker)
 	if regressions > 0 {
-		fmt.Fprintf(w, "%d regression(s) beyond the %.0f%% threshold\n", regressions, threshold*100)
+		fmt.Fprintf(w, "%d regression(s) beyond the %.0f%% threshold / 95%% CI\n", regressions, threshold*100)
 		return 1
 	}
 	return 0

@@ -107,3 +107,81 @@ func TestRejectsBadInput(t *testing.T) {
 		t.Errorf("negative threshold: code = %d, err = %v, want usage error", code, err)
 	}
 }
+
+// writeBenchStats writes a bench/v1 file whose entries may carry
+// per-seed wall statistics (sd in seconds, sample count).
+func writeBenchStats(t *testing.T, name string,
+	entries []artifact.BenchExperiment) string {
+	t.Helper()
+	b := artifact.NewBench(1, 1, 1, true)
+	for _, e := range entries {
+		b.AddStats(e.ID,
+			time.Duration(e.WallSeconds*float64(time.Second)),
+			time.Duration(e.WallSdSeconds*float64(time.Second)),
+			e.WallSamples, e.Runs, e.Rows)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := artifact.WriteBench(path, b); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// A baseline entry with zero recorded wall used to leave frac at 0 and
+// pass silently no matter how slow the new run was.
+func TestDiffFlagsZeroWallBaseline(t *testing.T) {
+	old := writeBench(t, "old.json", map[string]float64{"E1": 0.0, "E2": 2.0})
+	new_ := writeBench(t, "new.json", map[string]float64{"E1": 5.0, "E2": 2.0})
+	var out bytes.Buffer
+	code, err := run([]string{"-threshold", "0.25", old, new_}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 || !strings.Contains(out.String(), "REGRESSION (baseline 0s)") {
+		t.Errorf("code = %d, want 1 with baseline-0s marker\n%s", code, out.String())
+	}
+	// A zero-wall baseline against a sub-noise-floor new wall stays
+	// unflagged: nothing measurable happened on either side.
+	tiny := writeBench(t, "tiny.json", map[string]float64{"E1": 0.01, "E2": 2.0})
+	out.Reset()
+	if code, err = run([]string{"-threshold", "0.25", old, tiny}, &out); err != nil || code != 0 {
+		t.Errorf("tiny new wall: code = %d, err = %v\n%s", code, err, out.String())
+	}
+}
+
+// When the baseline carries per-seed variance, the verdict is the 95%
+// CI bound on the difference of two campaign totals, not the fixed
+// threshold — in both directions.
+func TestDiffVarianceAwareVerdict(t *testing.T) {
+	// n=16 seeds, sd=0.05 s ⇒ bound = 1.96·0.05·√32 ≈ 0.554 s.
+	old := writeBenchStats(t, "old.json", []artifact.BenchExperiment{
+		{ID: "E1", WallSeconds: 1.0, WallSdSeconds: 0.05, WallSamples: 16, Runs: 16, Rows: 3},
+	})
+
+	// +40% (beyond the 25% fixed threshold) but within the CI bound:
+	// must NOT flag.
+	// The total row still gates on its own fixed threshold, so lift it
+	// out of the way with -threshold 10: only the CI verdict can flag.
+	within := writeBench(t, "within.json", map[string]float64{"E1": 1.4})
+	var out bytes.Buffer
+	code, err := run([]string{"-threshold", "10", old, within}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 || strings.Contains(out.String(), "REGRESSION (> 95% CI") {
+		t.Errorf("within-CI slowdown must not flag: code = %d\n%s", code, out.String())
+	}
+
+	// +0.7 s, beyond the CI bound: must flag with the CI marker.
+	beyond := writeBench(t, "beyond.json", map[string]float64{"E1": 1.7})
+	out.Reset()
+	if code, err = run([]string{"-threshold", "10", old, beyond}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 || !strings.Contains(out.String(), "95% CI") {
+		t.Errorf("beyond-CI slowdown: code = %d, want 1 with CI marker\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "n=16") {
+		t.Errorf("CI marker should cite the sample count:\n%s", out.String())
+	}
+}

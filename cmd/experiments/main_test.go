@@ -206,3 +206,100 @@ func TestRunErrors(t *testing.T) {
 		t.Error("bad seed spec should error")
 	}
 }
+
+// The streaming path renders the campaign annotation and is
+// byte-identical across worker counts, like every other output path.
+func TestStreamOutput(t *testing.T) {
+	serial := output(t, "-quick", "-run", "E1", "-seeds", "1..4", "-parallel", "1", "-stream")
+	parallel := output(t, "-quick", "-run", "E1", "-seeds", "1..4", "-parallel", "4", "-stream")
+	if serial != parallel {
+		t.Error("streaming sweep differs between worker counts")
+	}
+	if !strings.Contains(serial, "aggregated over 4 seeds") ||
+		!strings.Contains(serial, "95% CI half-width") {
+		t.Errorf("campaign note missing:\n%s", serial)
+	}
+	if !strings.Contains(serial, "[n=4, ci=") && !strings.Contains(serial, "±") {
+		t.Errorf("no aggregated cells rendered:\n%s", serial)
+	}
+}
+
+// The full CLI-level kill-and-resume contract: a campaign aborted
+// mid-flight by -abort-after resumes from its checkpoint and renders
+// byte-identically to the uninterrupted run.
+func TestStreamCheckpointResumeByteIdentical(t *testing.T) {
+	uninterrupted := output(t, "-quick", "-run", "E1", "-seeds", "1..6", "-parallel", "2", "-stream")
+
+	ckpt := filepath.Join(t.TempDir(), "campaign.json")
+	var buf bytes.Buffer
+	err := run([]string{"-quick", "-run", "E1", "-seeds", "1..6", "-parallel", "2",
+		"-stream", "-checkpoint", ckpt, "-checkpoint-every", "2", "-abort-after", "3"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "abort-after") {
+		t.Fatalf("aborted campaign must surface the abort: %v", err)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("no checkpoint survived the abort: %v", err)
+	}
+
+	resumed := output(t, "-quick", "-run", "E1", "-seeds", "1..6", "-parallel", "2",
+		"-stream", "-checkpoint", ckpt, "-checkpoint-every", "2", "-resume")
+	if resumed != uninterrupted {
+		t.Errorf("resumed output differs from uninterrupted:\n--- resumed ---\n%s\n--- uninterrupted ---\n%s",
+			resumed, uninterrupted)
+	}
+}
+
+// Streaming -out writes bundles with capped run capture plus the
+// per-seed wall statistics that feed the variance-aware bench gate.
+func TestStreamOutWritesBenchStats(t *testing.T) {
+	dir := t.TempDir()
+	out := output(t, "-quick", "-run", "E6", "-seeds", "1..4", "-parallel", "2",
+		"-stream", "-out", dir)
+	if !strings.Contains(out, "bench.json") {
+		t.Errorf("missing artifact confirmation line:\n%s", out)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "bench.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bench struct {
+		Experiments []struct {
+			ID            string  `json:"id"`
+			WallSdSeconds float64 `json:"wall_sd_seconds"`
+			WallSamples   int     `json:"wall_samples"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal(data, &bench); err != nil {
+		t.Fatal(err)
+	}
+	if len(bench.Experiments) != 1 || bench.Experiments[0].ID != "E6" ||
+		bench.Experiments[0].WallSamples != 4 {
+		t.Errorf("bench experiments wrong: %+v", bench.Experiments)
+	}
+	// Capture is capped to the first streamed seeds; the seed-prefixed
+	// run names must still be there for those.
+	runs, err := os.ReadFile(filepath.Join(dir, "E6", "runs.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(runs), `"seed=1/policy=baseline"`) {
+		t.Errorf("seed-prefixed run names missing:\n%s", runs)
+	}
+}
+
+func TestStreamFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-stream", "-quick", "-run", "E1"}, &buf); err == nil {
+		t.Error("-stream without -seeds should error")
+	}
+	if err := run([]string{"-quick", "-run", "E1", "-seeds", "1..2", "-checkpoint", "x.json"}, &buf); err == nil {
+		t.Error("-checkpoint without -stream should error")
+	}
+	if err := run([]string{"-quick", "-run", "E1", "-seeds", "1..2", "-resume"}, &buf); err == nil {
+		t.Error("-resume without -stream should error")
+	}
+	if err := run([]string{"-quick", "-run", "E1,E2", "-seeds", "1..2", "-stream",
+		"-checkpoint", "x.json"}, &buf); err == nil {
+		t.Error("-checkpoint with two experiments should error")
+	}
+}

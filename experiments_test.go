@@ -46,8 +46,11 @@ func TestTableHelpers(t *testing.T) {
 	if tab.Cell(0, 1) != "1.5" || tab.Cell(9, 9) != "" {
 		t.Error("Cell wrong")
 	}
-	if tab.CellFloat(1, 1) != 2.5 || tab.CellFloat(0, 0) != 0 {
+	if tab.CellFloat(1, 1) != 2.5 {
 		t.Error("CellFloat wrong")
+	}
+	if _, ok := tab.CellFloatOK(0, 0); ok {
+		t.Error("text cell must not parse as a float")
 	}
 	if tab.FindRow("k2") != 1 || tab.FindRow("zz") != -1 {
 		t.Error("FindRow wrong")
@@ -195,8 +198,8 @@ func TestE7Shape(t *testing.T) {
 	if tab.CellFloat(intent, 3) < 1 {
 		t.Error("intent-sharing should produce early reactions")
 	}
-	if tab.CellFloat(base, 3) != 0 {
-		t.Error("baseline cannot produce early reactions")
+	if v, ok := tab.CellFloatOK(base, 3); !ok || v != 0 {
+		t.Errorf("baseline cannot produce early reactions: %q", tab.Cell(base, 3))
 	}
 }
 
@@ -237,7 +240,7 @@ func TestE10Shape(t *testing.T) {
 	if tab.Cell(0, 1) != "local" || tab.CellFloat(0, 4) <= 0 {
 		t.Errorf("(a) = %v", tab.Rows[0])
 	}
-	if tab.Cell(1, 1) != "global" || tab.CellFloat(1, 3) != 0 {
+	if v, ok := tab.CellFloatOK(1, 3); tab.Cell(1, 1) != "global" || !ok || v != 0 {
 		t.Errorf("(b) = %v", tab.Rows[1])
 	}
 	if tab.Cell(2, 1) != "global" || tab.CellFloat(2, 2) != 6 {
@@ -321,7 +324,7 @@ func TestE15Shape(t *testing.T) {
 	if tab.CellFloat(manual, 2) == 0 {
 		t.Error("manual arm must consume interventions")
 	}
-	if tab.CellFloat(auto, 2) != 0 || tab.CellFloat(auto, 3) == 0 {
+	if v, ok := tab.CellFloatOK(auto, 2); !ok || v != 0 || tab.CellFloat(auto, 3) == 0 {
 		t.Errorf("autonomous arm: interventions %v, recoveries %v",
 			tab.Cell(auto, 2), tab.Cell(auto, 3))
 	}

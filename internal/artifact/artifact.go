@@ -35,8 +35,9 @@ import (
 
 // Schema identifiers embedded in every artifact file.
 const (
-	SchemaBundle = "coopmrm/artifact/v1"
-	SchemaBench  = "coopmrm/bench/v1"
+	SchemaBundle   = "coopmrm/artifact/v1"
+	SchemaBench    = "coopmrm/bench/v1"
+	SchemaCampaign = "coopmrm/campaign/v1"
 )
 
 // Metrics mirrors metrics.Report with stable JSON names and durations
@@ -367,12 +368,18 @@ func writeTraceFile(path string, samples []trace.Sample) error {
 }
 
 // BenchExperiment is one experiment's timing entry in the bench
-// report.
+// report. For seed sweeps the wall time is the sum over per-seed jobs;
+// WallSdSeconds/WallSamples then carry the per-seed sample standard
+// deviation and sample count, which lets benchdiff gate on a
+// confidence interval instead of a fixed threshold (both are absent
+// for single-run experiments — a schema addition, not a break).
 type BenchExperiment struct {
-	ID          string  `json:"id"`
-	WallSeconds float64 `json:"wall_seconds"`
-	Runs        int     `json:"runs"`
-	Rows        int     `json:"rows"`
+	ID            string  `json:"id"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	WallSdSeconds float64 `json:"wall_sd_seconds,omitempty"`
+	WallSamples   int     `json:"wall_samples,omitempty"`
+	Runs          int     `json:"runs"`
+	Rows          int     `json:"rows"`
 }
 
 // BenchDetail is one fine-grained timing measurement inside an
@@ -422,6 +429,26 @@ func (b *Bench) Add(id string, wall time.Duration, runs, rows int) {
 	b.WallSeconds += wall.Seconds()
 }
 
+// AddStats is Add for seed sweeps: wall is the per-seed sum, wallSd
+// the Bessel-corrected sample sd of the per-seed walls, samples the
+// per-seed job count. Non-positive sd or samples < 2 degrade to plain
+// Add (no variance recorded).
+func (b *Bench) AddStats(id string, wall, wallSd time.Duration, samples, runs, rows int) {
+	if wallSd <= 0 || samples < 2 {
+		b.Add(id, wall, runs, rows)
+		return
+	}
+	b.Experiments = append(b.Experiments, BenchExperiment{
+		ID:            id,
+		WallSeconds:   wall.Seconds(),
+		WallSdSeconds: wallSd.Seconds(),
+		WallSamples:   samples,
+		Runs:          runs,
+		Rows:          rows,
+	})
+	b.WallSeconds += wall.Seconds()
+}
+
 // AddDetail appends one fine-grained measurement (its wall time is
 // already inside an experiment's Add total, so it does not accumulate
 // into WallSeconds again).
@@ -432,4 +459,90 @@ func (b *Bench) AddDetail(d BenchDetail) {
 // WriteBench writes the bench report to path.
 func WriteBench(path string, b Bench) error {
 	return writeJSONFile(path, b)
+}
+
+// CampaignCell is the serialized per-cell streaming accumulator of a
+// checkpointed seed-sweep campaign: Welford running moments plus the
+// flags that drive the aggregate rendering. Mean and M2 round-trip
+// exactly through JSON (Go emits the shortest representation that
+// parses back to the same float64), which is what makes a resumed
+// campaign byte-identical to an uninterrupted one.
+type CampaignCell struct {
+	N       int64  `json:"n"`
+	First   string `json:"first,omitempty"`
+	AllSame bool   `json:"all_same"`
+	Numeric bool   `json:"numeric"`
+	AllPct  bool   `json:"all_pct"`
+	// Welford running mean and sum of squared deviations (M2); only
+	// meaningful while Numeric holds.
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+	// Distinct cell strings seen so far, sorted, capped by the
+	// campaign layer; Overflow marks that the cap was hit.
+	Distinct []string `json:"distinct,omitempty"`
+	Overflow bool     `json:"overflow,omitempty"`
+}
+
+// Campaign is the campaign/v1 checkpoint of a streaming seed sweep:
+// the planned seed list, the contiguous completed prefix (seeds are
+// folded in seed order, so Seeds[:Completed] IS the completed-seed
+// set), the table metadata, and one accumulator per cell. Everything
+// here is deterministic — wall-clock accounting never enters a
+// checkpoint.
+type Campaign struct {
+	Schema     string  `json:"schema"`
+	Experiment string  `json:"experiment"`
+	Quick      bool    `json:"quick"`
+	Shards     int     `json:"shards,omitempty"`
+	Seeds      []int64 `json:"seeds"`
+	Completed  int     `json:"completed"`
+
+	Title  string   `json:"title,omitempty"`
+	Paper  string   `json:"paper,omitempty"`
+	Note   string   `json:"note,omitempty"`
+	Header []string `json:"header,omitempty"`
+
+	Cells [][]CampaignCell `json:"cells"`
+}
+
+// WriteCampaign writes the checkpoint atomically: the JSON lands in a
+// sibling temp file which is renamed over path, so a campaign killed
+// mid-checkpoint leaves the previous intact checkpoint, never a
+// truncated one.
+func WriteCampaign(path string, c Campaign) error {
+	c.Schema = SchemaCampaign
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return fmt.Errorf("artifact: marshal campaign: %w", err)
+	}
+	data = append(data, '\n')
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("artifact: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("artifact: %w", err)
+	}
+	return nil
+}
+
+// ReadCampaign loads and schema-checks a checkpoint.
+func ReadCampaign(path string) (Campaign, error) {
+	var c Campaign
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return c, err
+	}
+	if err := json.Unmarshal(data, &c); err != nil {
+		return c, fmt.Errorf("artifact: %s: %w", path, err)
+	}
+	if c.Schema != SchemaCampaign {
+		return c, fmt.Errorf("artifact: %s: schema %q, want %q", path, c.Schema, SchemaCampaign)
+	}
+	if c.Completed < 0 || c.Completed > len(c.Seeds) {
+		return c, fmt.Errorf("artifact: %s: completed %d out of range for %d seeds",
+			path, c.Completed, len(c.Seeds))
+	}
+	return c, nil
 }

@@ -291,3 +291,157 @@ func TestSlug(t *testing.T) {
 		t.Errorf("slug = %q", got)
 	}
 }
+
+// The campaign/v1 schema lock: checkpoint bytes for fixed accumulators
+// must match this golden exactly. Byte-identical resume depends on
+// Mean/M2 round-tripping through this file, so a diff here is a schema
+// change — if intentional, bump SchemaCampaign and update the golden.
+const goldenCampaign = `{
+  "schema": "coopmrm/campaign/v1",
+  "experiment": "E1",
+  "quick": true,
+  "seeds": [
+    1,
+    2,
+    3
+  ],
+  "completed": 2,
+  "title": "fixture",
+  "paper": "Fig. 0",
+  "header": [
+    "arm",
+    "share"
+  ],
+  "cells": [
+    [
+      {
+        "n": 2,
+        "first": "a",
+        "all_same": true,
+        "numeric": false,
+        "all_pct": false,
+        "mean": 0,
+        "m2": 0
+      },
+      {
+        "n": 2,
+        "all_same": false,
+        "numeric": true,
+        "all_pct": true,
+        "mean": 55,
+        "m2": 50,
+        "distinct": [
+          "50%",
+          "60%"
+        ]
+      }
+    ]
+  ]
+}
+`
+
+func fixtureCampaign() Campaign {
+	return Campaign{
+		Experiment: "E1",
+		Quick:      true,
+		Seeds:      []int64{1, 2, 3},
+		Completed:  2,
+		Title:      "fixture",
+		Paper:      "Fig. 0",
+		Header:     []string{"arm", "share"},
+		Cells: [][]CampaignCell{{
+			{N: 2, First: "a", AllSame: true},
+			{N: 2, Numeric: true, AllPct: true, Mean: 55, M2: 50,
+				Distinct: []string{"50%", "60%"}},
+		}},
+	}
+}
+
+func TestCampaignGoldenSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.json")
+	if err := WriteCampaign(path, fixtureCampaign()); err != nil {
+		t.Fatal(err)
+	}
+	if got := readFile(t, path); got != goldenCampaign {
+		t.Errorf("campaign.json schema drift:\n--- got ---\n%s\n--- want ---\n%s",
+			got, goldenCampaign)
+	}
+}
+
+func TestCampaignRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.json")
+	want := fixtureCampaign()
+	if err := WriteCampaign(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCampaign(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != SchemaCampaign || got.Experiment != "E1" || got.Completed != 2 ||
+		len(got.Seeds) != 3 || len(got.Cells) != 1 || len(got.Cells[0]) != 2 {
+		t.Errorf("round trip lost shape: %+v", got)
+	}
+	c := got.Cells[0][1]
+	if c.Mean != 55 || c.M2 != 50 || !c.Numeric || !c.AllPct || len(c.Distinct) != 2 {
+		t.Errorf("cell round trip: %+v", c)
+	}
+	// Atomicity: no temp file may survive a successful write.
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("temp file left behind: %v", err)
+	}
+}
+
+func TestReadCampaignValidation(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if _, err := ReadCampaign(write("schema.json",
+		`{"schema":"coopmrm/other/v1","seeds":[1],"completed":0,"cells":[]}`)); err == nil {
+		t.Error("wrong schema should be rejected")
+	}
+	if _, err := ReadCampaign(write("range.json",
+		`{"schema":"coopmrm/campaign/v1","seeds":[1],"completed":2,"cells":[]}`)); err == nil {
+		t.Error("completed beyond the seed plan should be rejected")
+	}
+	if _, err := ReadCampaign(write("junk.json", "{not json")); err == nil {
+		t.Error("malformed JSON should be rejected")
+	}
+	if _, err := ReadCampaign(filepath.Join(dir, "missing.json")); !os.IsNotExist(err) {
+		t.Errorf("missing file must surface as os.IsNotExist, got %v", err)
+	}
+}
+
+// AddStats records the per-seed variance when it has one and degrades
+// to a plain entry when it does not — wall_sd_seconds must never
+// appear with a meaningless value.
+func TestBenchAddStats(t *testing.T) {
+	b := NewBench(2, 1, 4, true)
+	b.AddStats("E1", 2*time.Second, 250*time.Millisecond, 4, 8, 3)
+	b.AddStats("E2", time.Second, 0, 4, 1, 3)                    // no variance measured
+	b.AddStats("E3", time.Second, 100*time.Millisecond, 1, 1, 3) // single sample
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := WriteBench(path, b); err != nil {
+		t.Fatal(err)
+	}
+	got := readFile(t, path)
+	for _, want := range []string{
+		`"wall_sd_seconds": 0.25`,
+		`"wall_samples": 4`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("bench.json missing %s:\n%s", want, got)
+		}
+	}
+	if strings.Count(got, "wall_sd_seconds") != 1 {
+		t.Errorf("degraded entries must omit wall_sd_seconds:\n%s", got)
+	}
+	if b.WallSeconds != 4 {
+		t.Errorf("total wall = %v, want 4", b.WallSeconds)
+	}
+}

@@ -142,6 +142,120 @@ func MapTimed[T any](ctx context.Context, workers, n int, fn func(ctx context.Co
 	return results, durations, err
 }
 
+// MapStream runs fn(ctx, i) for i in [0, n) across at most workers
+// goroutines, like Map, but hands each result to onResult as soon as
+// its job completes — in completion order, not index order — instead
+// of retaining all n results in memory. This is the substrate of
+// streaming seed-sweep campaigns: memory stays bounded by the number
+// of in-flight jobs, independent of n.
+//
+// onResult calls are serialized (never concurrent with each other),
+// always run on the calling goroutine, and receive the job index so
+// the consumer can reorder if it needs a deterministic fold. An error
+// from onResult cancels jobs that have not started and is returned
+// after in-flight jobs drain. Job errors keep Map's contract: the
+// first error by job index wins; onResult errors are reported only
+// when no job failed. workers <= 1 runs jobs inline in index order,
+// so the serial path is also the deterministic-delivery path.
+func MapStream[T any](ctx context.Context, workers, n int,
+	fn func(ctx context.Context, i int) (T, error),
+	onResult func(i int, v T) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers, n)
+
+	call := func(ctx context.Context, i int) (v T, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				buf := make([]byte, 4096)
+				buf = buf[:runtime.Stack(buf, false)]
+				err = &PanicError{Index: i, Value: r, Stack: buf}
+			}
+		}()
+		return fn(ctx, i)
+	}
+
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			v, err := call(ctx, i)
+			if err != nil {
+				return err
+			}
+			if err := onResult(i, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	type item struct {
+		i   int
+		v   T
+		err error
+	}
+	poolCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	indices := make(chan int)
+	results := make(chan item)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				v, err := call(poolCtx, i)
+				// Delivery is unconditional: the consumer loop below
+				// drains until the channel closes, so this never leaks.
+				results <- item{i: i, v: v, err: err}
+			}
+		}()
+	}
+	go func() {
+		for i := 0; i < n; i++ {
+			select {
+			case indices <- i:
+			case <-poolCtx.Done():
+				close(indices)
+				return
+			}
+		}
+		close(indices)
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	errs := make([]error, n)
+	var sinkErr error
+	for it := range results {
+		if it.err != nil {
+			errs[it.i] = it.err
+			cancel()
+			continue
+		}
+		if sinkErr == nil {
+			if err := onResult(it.i, it.v); err != nil {
+				sinkErr = err
+				cancel()
+			}
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if sinkErr != nil {
+		return sinkErr
+	}
+	return ctx.Err()
+}
+
 // ForEach is Map for jobs with no result value.
 func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
 	_, err := Map(ctx, workers, n, func(ctx context.Context, i int) (struct{}, error) {

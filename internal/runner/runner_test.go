@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -236,5 +237,121 @@ func TestMapTimed(t *testing.T) {
 		if durs[i] <= 0 {
 			t.Errorf("duration %d = %v, want > 0", i, durs[i])
 		}
+	}
+}
+
+// MapStream must deliver every result exactly once, with serialized
+// callbacks, whatever the worker count.
+func TestMapStreamDeliversAll(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		seen := make(map[int]int)
+		err := MapStream(context.Background(), workers, 50,
+			func(_ context.Context, i int) (int, error) { return i * i, nil },
+			func(i, v int) error {
+				// Serialized callbacks: plain map access races (and the
+				// -race CI lane catches it) if the contract breaks.
+				if v != i*i {
+					t.Errorf("result %d = %d, want %d", i, v, i*i)
+				}
+				seen[i]++
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(seen) != 50 {
+			t.Fatalf("workers=%d: delivered %d of 50", workers, len(seen))
+		}
+		for i, n := range seen {
+			if n != 1 {
+				t.Errorf("workers=%d: result %d delivered %d times", workers, i, n)
+			}
+		}
+	}
+}
+
+// With one worker, delivery happens inline and in index order — the
+// serial path doubles as the deterministic-delivery path.
+func TestMapStreamSerialInOrder(t *testing.T) {
+	var order []int
+	err := MapStream(context.Background(), 1, 10,
+		func(_ context.Context, i int) (int, error) { return i, nil },
+		func(i, _ int) error { order = append(order, i); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("serial delivery order = %v", order)
+		}
+	}
+}
+
+// A consumer error stops feeding new jobs and is returned after the
+// in-flight jobs drain; no further onResult calls happen.
+func TestMapStreamConsumerError(t *testing.T) {
+	stop := errors.New("enough")
+	for _, workers := range []int{1, 4} {
+		delivered := 0
+		started := int32(0)
+		err := MapStream(context.Background(), workers, 1000,
+			func(_ context.Context, i int) (int, error) {
+				atomic.AddInt32(&started, 1)
+				return i, nil
+			},
+			func(int, int) error {
+				delivered++
+				if delivered == 5 {
+					return stop
+				}
+				return nil
+			})
+		if !errors.Is(err, stop) {
+			t.Fatalf("workers=%d: err = %v, want %v", workers, err, stop)
+		}
+		if delivered != 5 {
+			t.Errorf("workers=%d: delivered %d after stop", workers, delivered)
+		}
+		if n := atomic.LoadInt32(&started); n == 1000 {
+			t.Errorf("workers=%d: consumer error did not cancel the feed", workers)
+		}
+	}
+}
+
+// Job errors keep Map's contract: lowest job index wins, and a
+// panicking job surfaces as *PanicError.
+func TestMapStreamJobErrorAndPanic(t *testing.T) {
+	boom := errors.New("boom")
+	err := MapStream(context.Background(), 4, 100,
+		func(_ context.Context, i int) (int, error) {
+			if i == 7 || i == 42 {
+				return 0, fmt.Errorf("job %d: %w", i, boom)
+			}
+			return i, nil
+		},
+		func(int, int) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "job 7") {
+		t.Errorf("err = %v, want the lowest-index job error", err)
+	}
+
+	err = MapStream(context.Background(), 2, 10,
+		func(_ context.Context, i int) (int, error) {
+			if i == 3 {
+				panic("kaboom")
+			}
+			return i, nil
+		},
+		func(int, int) error { return nil })
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 3 {
+		t.Errorf("err = %v, want *PanicError for job 3", err)
+	}
+}
+
+func TestMapStreamZeroJobs(t *testing.T) {
+	if err := MapStream(context.Background(), 4, 0,
+		func(_ context.Context, i int) (int, error) { return i, nil },
+		func(int, int) error { t.Error("callback on zero jobs"); return nil }); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -89,9 +89,13 @@ func SweepSeeds(e Experiment, opt Options, seeds []int64, parallel int) (Table, 
 }
 
 // AggregateSeedTables folds per-seed tables of one experiment into a
-// single table as described at SweepSeeds. Tables must be seed-ordered
-// and of the same experiment; the first table supplies ID, title and
-// header.
+// single table as described at SweepSeeds; sd is the Bessel-corrected
+// sample standard deviation. Tables must be seed-ordered and of the
+// same experiment; the first table supplies ID, title and header.
+//
+// This retained-table path is the exact two-pass oracle the streaming
+// campaign path (SweepSeedsStream) is differentially tested against;
+// it stays O(seeds) in memory by construction.
 func AggregateSeedTables(tables []Table, seeds []int64) Table {
 	if len(tables) == 0 {
 		return Table{}
@@ -142,6 +146,14 @@ func seedSpan(seeds []int64) string {
 		}
 		return strings.Join(parts, ",")
 	}
+	// A non-contiguous list like 3,5,9,11,20 must not render as a dense
+	// "3..20 (5 seeds)" — mark the gap so the span is never mistaken
+	// for the full inclusive range.
+	for i := 1; i < len(seeds); i++ {
+		if seeds[i] != seeds[i-1]+1 {
+			return fmt.Sprintf("%d..%d (%d seeds, sparse)", seeds[0], seeds[len(seeds)-1], len(seeds))
+		}
+	}
 	return fmt.Sprintf("%d..%d (%d seeds)", seeds[0], seeds[len(seeds)-1], len(seeds))
 }
 
@@ -190,7 +202,15 @@ func aggregateCell(cells []string) string {
 	for _, v := range vals {
 		ss += (v - mean) * (v - mean)
 	}
-	sd := math.Sqrt(ss / float64(len(vals)))
+	// Bessel-corrected sample sd (÷ n-1): the seeds are a sample from
+	// the seed population, and the population formula (÷ n)
+	// systematically underreports spread at the small n where it
+	// matters most. n == 1 cannot happen here (a single table is always
+	// "same"), but guard it rather than divide by zero.
+	var sd float64
+	if len(vals) > 1 {
+		sd = math.Sqrt(ss / float64(len(vals)-1))
+	}
 	// When every cell carried the % unit, keep it on the aggregate so
 	// "50%"/"60%" reads "55.00±5.00%", not a unitless number.
 	unit := ""

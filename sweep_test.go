@@ -79,7 +79,11 @@ func TestSeedSpan(t *testing.T) {
 		{mk(4), "1,2,3,4"},
 		{mk(5), "1..5 (5 seeds)"},
 		{mk(32), "1..32 (32 seeds)"},
-		{[]int64{10, 3, 99, 7, 42}, "10..42 (5 seeds)"}, // first..last, not min..max
+		// Non-contiguous lists must not render as a dense range: plain
+		// "3..20 (5 seeds)" for 3,5,9,11,20 would imply all 18 seeds
+		// of the inclusive range ran.
+		{[]int64{3, 5, 9, 11, 20}, "3..20 (5 seeds, sparse)"},
+		{[]int64{10, 3, 99, 7, 42}, "10..42 (5 seeds, sparse)"}, // first..last, not min..max
 	}
 	for _, tc := range cases {
 		if got := seedSpan(tc.seeds); got != tc.want {
@@ -90,6 +94,8 @@ func TestSeedSpan(t *testing.T) {
 
 // aggregateCell unit handling: the % suffix survives aggregation when
 // every cell carries it, and non-finite parses never reach mean±sd.
+// The sd is the Bessel-corrected sample sd (÷ n-1): {50, 60} spreads
+// ±7.07, not the population ±5.00 that underreported it.
 func TestAggregateCellUnits(t *testing.T) {
 	cases := []struct {
 		name  string
@@ -97,10 +103,13 @@ func TestAggregateCellUnits(t *testing.T) {
 		want  string
 	}{
 		{"identical kept verbatim", []string{"52.1%", "52.1%", "52.1%"}, "52.1%"},
-		{"all percent", []string{"50%", "60%"}, "55.00±5.00%"},
-		{"percent with spaces", []string{" 50% ", "60%"}, "55.00±5.00%"},
-		{"mixed unit drops suffix", []string{"50%", "60"}, "55.00±5.00"},
-		{"plain numeric", []string{"1.0", "3.0", "2.0"}, "2.00±0.82"},
+		{"all percent", []string{"50%", "60%"}, "55.00±7.07%"},
+		{"percent with spaces", []string{" 50% ", "60%"}, "55.00±7.07%"},
+		{"mixed unit drops suffix", []string{"50%", "60"}, "55.00±7.07"},
+		{"plain numeric", []string{"1.0", "3.0", "2.0"}, "2.00±1.00"},
+		// Regression guard for the population-sd bug: {0, 2} has
+		// sample sd √2, the old ÷n formula reported exactly 1.00.
+		{"bessel correction at n=2", []string{"0", "2"}, "1.00±1.41"},
 		{"NaN is non-numeric", []string{"NaN", "2.0"}, "varies(2)"},
 		{"Inf is non-numeric", []string{"+Inf", "2.0", "3.0"}, "varies(3)"},
 		{"NaN percent", []string{"NaN%", "50%"}, "varies(2)"},
@@ -144,8 +153,8 @@ func TestAggregateSeedTables(t *testing.T) {
 	if agg.Cell(0, 0) != "a" {
 		t.Errorf("identical cells must be kept verbatim: %q", agg.Cell(0, 0))
 	}
-	if agg.Cell(0, 1) != "2.00±0.82" {
-		t.Errorf("numeric cell = %q, want mean±sd", agg.Cell(0, 1))
+	if agg.Cell(0, 1) != "2.00±1.00" {
+		t.Errorf("numeric cell = %q, want Bessel-corrected mean±sd", agg.Cell(0, 1))
 	}
 	if agg.Cell(0, 2) != "varies(2)" {
 		t.Errorf("divergent cell = %q", agg.Cell(0, 2))

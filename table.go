@@ -120,13 +120,35 @@ func (t Table) Cell(row, col int) string {
 	return t.Rows[row][col]
 }
 
-// CellFloat parses the cell at (row, col) as a float64 (0 on error).
+// CellFloat parses the numeric value of the cell at (row, col): plain
+// numbers, "%"-suffixed percentages ("52.1%" → 52.1), and aggregated
+// sweep cells — "55.00±5.00%" or "55.00±5.00% [n=8, ci=3.47]" — whose
+// mean is returned. It returns 0 when the cell carries no number;
+// assertions that need to distinguish a true 0 from an unparseable
+// cell (the old behaviour silently compared text cells against 0)
+// must use CellFloatOK.
 func (t Table) CellFloat(row, col int) float64 {
-	v, err := strconv.ParseFloat(strings.TrimSpace(t.Cell(row, col)), 64)
-	if err != nil {
-		return 0
-	}
+	v, _ := t.CellFloatOK(row, col)
 	return v
+}
+
+// CellFloatOK is CellFloat with an explicit parse verdict: ok is false
+// when the cell holds no parseable number, so a test against an
+// aggregated or textual cell can fail loudly instead of passing
+// vacuously against the zero fallback.
+func (t Table) CellFloatOK(row, col int) (float64, bool) {
+	s := strings.TrimSpace(t.Cell(row, col))
+	// Aggregated cells: the mean is everything before the ± (the sd,
+	// unit, and any "[n=…, ci=…]" annotation follow it).
+	if i := strings.Index(s, "±"); i >= 0 {
+		s = strings.TrimSpace(s[:i])
+	}
+	s = strings.TrimSpace(strings.TrimSuffix(s, "%"))
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
 }
 
 // FindRow returns the index of the first row whose first cell equals
