@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race vet lint bench benchdiff microbench campaign-smoke
+.PHONY: build test check race vet lint bench benchdiff microbench campaign-smoke serve-smoke servebench
 
 build:
 	$(GO) build ./...
@@ -72,6 +72,23 @@ campaign-smoke:
 	cmp .campaign-smoke/uninterrupted.txt .campaign-smoke/resumed.txt
 	rm -rf .campaign-smoke
 	@echo "campaign-smoke: resumed output byte-identical"
+
+# serve-smoke is the coopmrmd drain/resume contract through real
+# processes and signals: run a sweep job to completion, run the same
+# job on a fresh server, SIGTERM the process mid-campaign, restart it
+# on the same state dir, and require the resumed artifact tar to be
+# byte-identical to the uninterrupted one. Deterministic, so CI runs
+# it blocking. Needs curl and jq.
+serve-smoke:
+	bash scripts/serve_smoke.sh
+
+# servebench regenerates the committed coopmrmd throughput baseline
+# BENCH_serve.json: sustained jobs/sec and runs/sec for 8 concurrent
+# clients against a cold cache, then against a warm one. Wall-clock
+# numbers — companion to BENCH_quick.json, not a CI gate.
+servebench:
+	$(GO) run ./cmd/coopmrmd -selfbench -bench-clients 8 -bench-jobs 32 \
+		-bench-out BENCH_serve.json
 
 # microbench runs the Go micro-benchmarks with allocation accounting:
 # the per-artefact experiment benchmarks plus the hot-path pairs

@@ -162,6 +162,39 @@ func SweepSeedsStreamWithArtifacts(e Experiment, opt Options, seeds []int64, par
 	}, nil
 }
 
+// RunJobArtifacts runs one experiment in the harness mode implied by
+// its arguments — a single run when seeds is empty, a retained-table
+// seed sweep, or (stream) a checkpointable streaming campaign — and
+// returns its artifacts. It is the one-experiment dispatch the
+// coopmrmd job server shares with the cmd/experiments -out paths.
+//
+// The streaming mode deliberately returns a table-only result with no
+// per-run capture: streaming capture is capped to a campaign's first
+// seeds, so a campaign interrupted past that prefix and resumed could
+// never reproduce it — and the server's cache contract is that an
+// interrupted-and-resumed job serves bytes identical to an
+// uninterrupted one.
+func RunJobArtifacts(e Experiment, opt Options, seeds []int64, parallel int,
+	stream bool, cfg CampaignConfig) (ExperimentArtifacts, error) {
+	switch {
+	case len(seeds) == 0:
+		res, err := RunSetWithArtifacts([]Experiment{e}, opt, parallel)
+		if err != nil {
+			return ExperimentArtifacts{}, err
+		}
+		return res[0], nil
+	case stream:
+		start := time.Now()
+		table, err := SweepSeedsStream(e, opt, seeds, parallel, cfg)
+		if err != nil {
+			return ExperimentArtifacts{}, err
+		}
+		return ExperimentArtifacts{Experiment: e, Table: table, Wall: time.Since(start)}, nil
+	default:
+		return SweepSeedsWithArtifacts(e, opt, seeds, parallel)
+	}
+}
+
 // WriteRunArtifacts writes one artifact bundle per experiment under
 // dir plus the run-level bench.json. The bundles depend only on the
 // experiment outputs (deterministic per seed); bench.json carries the

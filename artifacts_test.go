@@ -1,0 +1,63 @@
+package coopmrm
+
+import (
+	"testing"
+)
+
+// RunJobArtifacts must dispatch to the same library paths the CLI
+// uses: single runs match RunSetWithArtifacts, retained sweeps match
+// SweepSeedsWithArtifacts, and streaming jobs return the table-only
+// result whose rendering matches the plain streaming sweep.
+func TestRunJobArtifactsDispatch(t *testing.T) {
+	e, ok := ExperimentByID("E1")
+	if !ok {
+		t.Fatal("E1 missing")
+	}
+	opt := Options{Quick: true, Seed: 1}
+	seeds := []int64{1, 2, 3}
+
+	single, err := RunJobArtifacts(e, opt, nil, 2, false, CampaignConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := RunSetWithArtifacts([]Experiment{e}, opt, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Table.Render() != ref[0].Table.Render() {
+		t.Errorf("single-run table differs from RunSetWithArtifacts")
+	}
+	if len(single.Runs) == 0 {
+		t.Errorf("single-run job lost its captured runs")
+	}
+
+	retained, err := RunJobArtifacts(e, opt, seeds, 2, false, CampaignConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSweep, err := SweepSeedsWithArtifacts(e, opt, seeds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retained.Table.Render() != refSweep.Table.Render() {
+		t.Errorf("retained-sweep table differs from SweepSeedsWithArtifacts")
+	}
+
+	stream, err := RunJobArtifacts(e, opt, seeds, 2, true, CampaignConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refStream, err := SweepSeedsStream(e, opt, seeds, 2, CampaignConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stream.Table.Render() != refStream.Render() {
+		t.Errorf("stream table differs from SweepSeedsStream")
+	}
+	if len(stream.Runs) != 0 {
+		// Capture is capped to a campaign's first seeds and so cannot
+		// survive a checkpoint/resume cycle; a streaming job must not
+		// pretend otherwise.
+		t.Errorf("stream job returned %d captured runs, want none", len(stream.Runs))
+	}
+}

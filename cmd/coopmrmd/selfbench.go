@@ -1,0 +1,191 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"coopmrm/internal/artifact"
+	"coopmrm/internal/server"
+)
+
+// selfBench measures sustained job throughput against an in-process
+// server: clients concurrent clients submit jobs distinct quick E1
+// jobs (phase "serve/cold", every one a cache miss that executes),
+// then resubmit the identical set (phase "serve/cached", every one a
+// hit served from disk). Each client drives the full protocol —
+// submit, poll to done, fetch the artifact tar — so the numbers
+// include serving costs, not just simulation. Results append to the
+// bench/v1 "serve" section next to the wall-clock experiment gate.
+func selfBench(cfg server.Config, clients, jobs int, outPath string) error {
+	stateDir, err := os.MkdirTemp("", "coopmrmd-bench-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(stateDir)
+	cfg.StateDir = stateDir
+
+	srv, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	go http.Serve(ln, srv.Handler())
+	base := "http://" + ln.Addr().String()
+
+	bodies := make([][]byte, jobs)
+	for i := range bodies {
+		bodies[i] = fmt.Appendf(nil, `{"experiment":"E1","options":{"quick":true,"seed":%d}}`, i+1)
+	}
+
+	bench := artifact.NewBench(cfg.Parallel, 1, 1, true)
+	for _, phase := range []string{"serve/cold", "serve/cached"} {
+		sb, err := runPhase(phase, base, bodies, clients)
+		if err != nil {
+			return err
+		}
+		bench.Serve = append(bench.Serve, sb)
+		fmt.Printf("%-13s %d clients, %d jobs: %.2fs wall, %.1f jobs/s, %.1f runs/s (hits %d, misses %d)\n",
+			sb.ID, sb.Clients, sb.Jobs, sb.WallSeconds, sb.JobsPerSec, sb.RunsPerSec,
+			sb.CacheHits, sb.CacheMisses)
+	}
+	if err := artifact.WriteBench(outPath, bench); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}
+
+// runPhase pushes every job body through one submit→poll→fetch cycle
+// across the client pool and reduces the result to a ServeBench row.
+func runPhase(id, base string, bodies [][]byte, clients int) (artifact.ServeBench, error) {
+	before, err := fetchMetrics(base)
+	if err != nil {
+		return artifact.ServeBench{}, err
+	}
+	work := make(chan []byte)
+	errs := make(chan error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for body := range work {
+				if err := driveJob(base, body); err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	for _, b := range bodies {
+		work <- b
+	}
+	close(work)
+	wg.Wait()
+	wall := time.Since(start)
+	select {
+	case err := <-errs:
+		return artifact.ServeBench{}, fmt.Errorf("%s: %w", id, err)
+	default:
+	}
+	after, err := fetchMetrics(base)
+	if err != nil {
+		return artifact.ServeBench{}, err
+	}
+	runs := int(after.Throughput.RunsCompleted - before.Throughput.RunsCompleted)
+	return artifact.ServeBench{
+		ID:          id,
+		Clients:     clients,
+		Jobs:        len(bodies),
+		Runs:        runs,
+		WallSeconds: wall.Seconds(),
+		JobsPerSec:  float64(len(bodies)) / wall.Seconds(),
+		RunsPerSec:  float64(runs) / wall.Seconds(),
+		CacheHits:   after.Cache.Hits - before.Cache.Hits,
+		CacheMisses: after.Cache.Misses - before.Cache.Misses,
+	}, nil
+}
+
+// driveJob runs one full client cycle: submit, poll until terminal,
+// fetch and discard the artifact tar.
+func driveJob(base string, body []byte) error {
+	var st struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+		Error  string `json:"error"`
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	if err := decodeInto(resp, &st); err != nil {
+		return err
+	}
+	for st.Status != "done" {
+		if st.Status == "failed" {
+			return fmt.Errorf("job %.12s failed: %s", st.ID, st.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+		resp, err := http.Get(base + "/v1/jobs/" + st.ID)
+		if err != nil {
+			return err
+		}
+		if err := decodeInto(resp, &st); err != nil {
+			return err
+		}
+	}
+	resp, err = http.Get(base + "/v1/jobs/" + st.ID + "/artifact")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("artifact %.12s: HTTP %d", st.ID, resp.StatusCode)
+	}
+	_, err = io.Copy(io.Discard, resp.Body)
+	return err
+}
+
+// metricsDoc mirrors the /v1/metrics fields the bench consumes.
+type metricsDoc struct {
+	Cache struct {
+		Hits   int64 `json:"hits"`
+		Misses int64 `json:"misses"`
+	} `json:"cache"`
+	Throughput struct {
+		RunsCompleted int64 `json:"runs_completed"`
+	} `json:"throughput"`
+}
+
+func fetchMetrics(base string) (metricsDoc, error) {
+	var m metricsDoc
+	resp, err := http.Get(base + "/v1/metrics")
+	if err != nil {
+		return m, err
+	}
+	return m, decodeInto(resp, &m)
+}
+
+func decodeInto(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		data, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

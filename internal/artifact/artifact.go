@@ -20,6 +20,7 @@ package artifact
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -276,15 +277,31 @@ type runsFile struct {
 // runs.json index, and one events/trace JSONL file per recorded run
 // that carries a stream. The output bytes depend only on the bundle
 // contents.
+//
+// The write is atomic at the bundle level: every file is staged into a
+// hidden sibling temp directory which is renamed into place, so a
+// crash or error mid-write never publishes a partial bundle. Readers —
+// and the coopmrmd result cache in particular — treat a bundle
+// directory's presence as validity, which a torn table.json/runs.json
+// pair would silently betray.
 func WriteBundle(dir string, b Bundle) error {
 	if b.Table.ID == "" {
 		return fmt.Errorf("artifact: bundle has no table ID")
 	}
-	base := filepath.Join(dir, b.Table.ID)
-	if err := os.MkdirAll(base, 0o755); err != nil {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("artifact: %w", err)
 	}
-	if err := writeJSONFile(filepath.Join(base, "table.json"),
+	tmp, err := os.MkdirTemp(dir, "."+b.Table.ID+".tmp-")
+	if err != nil {
+		return fmt.Errorf("artifact: %w", err)
+	}
+	// Cleanup on every failure path; after a successful rename the
+	// staged path no longer exists and this is a no-op.
+	defer os.RemoveAll(tmp)
+	if err := os.Chmod(tmp, 0o755); err != nil {
+		return fmt.Errorf("artifact: %w", err)
+	}
+	if err := writeJSONFile(filepath.Join(tmp, "table.json"),
 		tableFile{Schema: SchemaBundle, Table: b.Table}); err != nil {
 		return err
 	}
@@ -293,19 +310,32 @@ func WriteBundle(dir string, b Bundle) error {
 	for i := range runs {
 		if runs[i].EventCount > 0 {
 			runs[i].EventsFile = fmt.Sprintf("events/%03d-%s.jsonl", i, slug(runs[i].Name))
-			if err := writeEventsFile(filepath.Join(base, runs[i].EventsFile), runs[i].events); err != nil {
+			if err := writeEventsFile(filepath.Join(tmp, runs[i].EventsFile), runs[i].events); err != nil {
 				return err
 			}
 		}
 		if runs[i].TraceCount > 0 {
 			runs[i].TraceFile = fmt.Sprintf("trace/%03d-%s.jsonl", i, slug(runs[i].Name))
-			if err := writeTraceFile(filepath.Join(base, runs[i].TraceFile), runs[i].samples); err != nil {
+			if err := writeTraceFile(filepath.Join(tmp, runs[i].TraceFile), runs[i].samples); err != nil {
 				return err
 			}
 		}
 	}
-	return writeJSONFile(filepath.Join(base, "runs.json"),
-		runsFile{Schema: SchemaBundle, Experiment: b.Table.ID, Runs: runs})
+	if err := writeJSONFile(filepath.Join(tmp, "runs.json"),
+		runsFile{Schema: SchemaBundle, Experiment: b.Table.ID, Runs: runs}); err != nil {
+		return err
+	}
+	// Swap the complete staging directory in. A previous bundle is
+	// replaced only once the new one is fully written; the window with
+	// no bundle present is the price of never exposing a partial one.
+	final := filepath.Join(dir, b.Table.ID)
+	if err := os.RemoveAll(final); err != nil {
+		return fmt.Errorf("artifact: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("artifact: %w", err)
+	}
+	return nil
 }
 
 // slug maps a run name to a filesystem-safe fragment.
@@ -321,7 +351,18 @@ func slug(name string) string {
 	}, name)
 }
 
+// writeFileHook, when non-nil, intercepts every staged bundle file
+// write with the path about to be written; returning an error aborts
+// the write. Test-only: it simulates a crash mid-bundle-write for the
+// atomicity regression tests.
+var writeFileHook func(path string) error
+
 func writeJSONFile(path string, v any) error {
+	if writeFileHook != nil {
+		if err := writeFileHook(path); err != nil {
+			return err
+		}
+	}
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return fmt.Errorf("artifact: marshal %s: %w", filepath.Base(path), err)
@@ -334,6 +375,11 @@ func writeJSONFile(path string, v any) error {
 }
 
 func writeEventsFile(path string, events []sim.Event) error {
+	if writeFileHook != nil {
+		if err := writeFileHook(path); err != nil {
+			return err
+		}
+	}
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("artifact: %w", err)
 	}
@@ -353,6 +399,11 @@ func writeEventsFile(path string, events []sim.Event) error {
 }
 
 func writeTraceFile(path string, samples []trace.Sample) error {
+	if writeFileHook != nil {
+		if err := writeFileHook(path); err != nil {
+			return err
+		}
+	}
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("artifact: %w", err)
 	}
@@ -396,6 +447,23 @@ type BenchDetail struct {
 	TicksPerSec float64 `json:"ticks_per_sec"`
 }
 
+// ServeBench is one sustained-throughput measurement of the coopmrmd
+// job server: Clients concurrent clients submitting Jobs jobs (Runs
+// underlying experiment runs) against a cold or warm result cache.
+// Like every bench quantity it is wall-clock and intentionally not
+// deterministic; a schema addition to bench/v1, not a break.
+type ServeBench struct {
+	ID          string  `json:"id"` // measurement label, e.g. "serve/cold"
+	Clients     int     `json:"clients"`
+	Jobs        int     `json:"jobs"`
+	Runs        int     `json:"runs"`
+	WallSeconds float64 `json:"wall_seconds"`
+	JobsPerSec  float64 `json:"jobs_per_sec"`
+	RunsPerSec  float64 `json:"runs_per_sec"`
+	CacheHits   int64   `json:"cache_hits"`
+	CacheMisses int64   `json:"cache_misses"`
+}
+
 // Bench is the run-level bench.json: wall-clock per experiment plus
 // the harness configuration that produced it. Unlike bundles it is
 // *not* byte-stable across runs — wall time is the payload.
@@ -408,6 +476,7 @@ type Bench struct {
 	WallSeconds float64           `json:"wall_seconds"`
 	Experiments []BenchExperiment `json:"experiments"`
 	Details     []BenchDetail     `json:"details,omitempty"`
+	Serve       []ServeBench      `json:"serve,omitempty"`
 }
 
 // NewBench returns a bench report with the schema stamped.
@@ -518,11 +587,19 @@ func WriteCampaign(path string, c Campaign) error {
 	data = append(data, '\n')
 	tmp := path + ".tmp"
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		// A failed write may still have created a partial temp file —
+		// don't strand it next to the checkpoint.
+		os.Remove(tmp)
 		return fmt.Errorf("artifact: %w", err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("artifact: %w", err)
+		err = fmt.Errorf("artifact: %w", err)
+		if rmErr := os.Remove(tmp); rmErr != nil {
+			// Surface both failures: the checkpoint that never landed
+			// and the temp file stranded beside it.
+			err = errors.Join(err, fmt.Errorf("artifact: stranded temp: %w", rmErr))
+		}
+		return err
 	}
 	return nil
 }

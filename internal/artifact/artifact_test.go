@@ -445,3 +445,70 @@ func TestBenchAddStats(t *testing.T) {
 		t.Errorf("total wall = %v, want 4", b.WallSeconds)
 	}
 }
+
+// TestWriteBundleCrashMidWriteKeepsOldBundle simulates a process
+// killed partway through a bundle rewrite: the previously published
+// bundle must survive untouched and no staging residue may remain —
+// the cache treats a bundle directory's presence as validity.
+func TestWriteBundleCrashMidWriteKeepsOldBundle(t *testing.T) {
+	dir := t.TempDir()
+	old := Bundle{Table: Table{ID: "EX", Header: []string{"h"}, Rows: [][]string{{"old"}}}}
+	if err := WriteBundle(dir, old); err != nil {
+		t.Fatal(err)
+	}
+	oldTable := readFile(t, filepath.Join(dir, "EX", "table.json"))
+
+	writeFileHook = func(path string) error {
+		if filepath.Base(path) == "runs.json" {
+			return os.ErrClosed // stand-in for the crash
+		}
+		return nil
+	}
+	defer func() { writeFileHook = nil }()
+
+	next := Bundle{Table: Table{ID: "EX", Header: []string{"h"}, Rows: [][]string{{"new"}}}}
+	if err := WriteBundle(dir, next); err == nil {
+		t.Fatal("interrupted write must report its error")
+	}
+	if got := readFile(t, filepath.Join(dir, "EX", "table.json")); got != oldTable {
+		t.Errorf("published bundle mutated by a failed rewrite:\n%s", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range entries {
+		if ent.Name() != "EX" {
+			t.Errorf("staging residue left behind: %s", ent.Name())
+		}
+	}
+}
+
+// A checkpoint whose rename fails must not strand its temp file next
+// to the (still intact) previous checkpoint. Running as root makes
+// permission-based failures a no-op, so the rename is forced to fail
+// by making the destination an existing non-empty directory.
+func TestWriteCampaignRenameFailureRemovesTemp(t *testing.T) {
+	dir := t.TempDir()
+	dest := filepath.Join(dir, "campaign.json")
+	if err := os.MkdirAll(filepath.Join(dest, "occupied"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	err := WriteCampaign(dest, Campaign{Experiment: "E1", Seeds: []int64{1}})
+	if err == nil {
+		t.Fatal("rename onto a non-empty directory must fail")
+	}
+	if _, statErr := os.Stat(dest + ".tmp"); !os.IsNotExist(statErr) {
+		t.Errorf("temp file stranded after rename failure: %v", statErr)
+	}
+}
+
+func TestWriteCampaignWriteFailureRemovesTemp(t *testing.T) {
+	dest := filepath.Join(t.TempDir(), "missing-parent", "campaign.json")
+	if err := WriteCampaign(dest, Campaign{Experiment: "E1", Seeds: []int64{1}}); err == nil {
+		t.Fatal("write into a missing directory must fail")
+	}
+	if _, statErr := os.Stat(dest + ".tmp"); !os.IsNotExist(statErr) {
+		t.Errorf("temp file stranded after write failure: %v", statErr)
+	}
+}

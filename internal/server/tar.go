@@ -1,0 +1,57 @@
+package server
+
+import (
+	"archive/tar"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// writeBundleTar streams a bundle directory as a deterministic tar:
+// regular files only, in WalkDir's lexical order, USTAR headers with
+// epoch timestamps, fixed 0644 mode and no ownership. The bytes
+// depend only on the bundle contents — which is what lets the smoke
+// test (and any client) compare served artifacts with cmp.
+func writeBundleTar(w io.Writer, root, prefix string) error {
+	tw := tar.NewWriter(w)
+	epoch := time.Unix(0, 0).UTC()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		hdr := &tar.Header{
+			Name:    prefix + filepath.ToSlash(rel),
+			Mode:    0o644,
+			Size:    info.Size(),
+			ModTime: epoch,
+			Format:  tar.FormatUSTAR,
+		}
+		if err := tw.WriteHeader(hdr); err != nil {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		_, err = io.Copy(tw, f)
+		f.Close()
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	return tw.Close()
+}

@@ -2,6 +2,7 @@ package coopmrm
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"os"
@@ -298,6 +299,16 @@ func stateFromCampaign(c artifact.Campaign) *campaignState {
 	return st
 }
 
+// ErrCampaignDrain, returned (or wrapped) by a CampaignConfig.OnFold
+// hook, aborts a streaming campaign *gracefully*: the fold stops, and
+// — unlike any other abort, which leaves only the last periodic
+// checkpoint exactly as a SIGKILL would — the campaign writes a final
+// checkpoint of every seed folded so far before unwinding. This is
+// the substrate of coopmrmd's SIGTERM drain: an in-flight campaign
+// parks with zero folded work lost and resumes from that checkpoint
+// on the next start.
+var ErrCampaignDrain = errors.New("campaign drain requested")
+
 // CampaignConfig tunes a streaming seed-sweep campaign.
 type CampaignConfig struct {
 	// Checkpoint, when non-empty, is the campaign/v1 checkpoint file:
@@ -458,6 +469,15 @@ func sweepSeedsStream(e Experiment, opt Options, seeds []int64, parallel int,
 			return job, nil
 		}, onResult)
 	if err != nil {
+		// A graceful drain owns a consistent folded prefix (folds are
+		// serialized on this goroutine and the pool has drained) —
+		// checkpoint it so the abort loses nothing. Every other abort
+		// keeps SIGKILL semantics: only periodic checkpoints survive.
+		if cfg.Checkpoint != "" && errors.Is(err, ErrCampaignDrain) {
+			if cerr := checkpoint(); cerr != nil {
+				err = errors.Join(err, cerr)
+			}
+		}
 		return Table{}, nil, err
 	}
 	if st.folded != total {

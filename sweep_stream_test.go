@@ -429,3 +429,61 @@ func TestCellAccumDistinctCap(t *testing.T) {
 		t.Errorf("distinct set grew past the cap: %d", len(c.distinct))
 	}
 }
+
+// TestSweepStreamDrainCheckpointsFoldedState is the graceful-drain
+// counterpart of the kill test above: an OnFold abort that wraps
+// ErrCampaignDrain gets a *final* checkpoint at the abort point — no
+// folded seed is lost — where a plain abort keeps SIGKILL semantics
+// (only the last periodic write survives).
+func TestSweepStreamDrainCheckpointsFoldedState(t *testing.T) {
+	e, ok := ExperimentByID("E1")
+	if !ok {
+		t.Fatal("E1 missing")
+	}
+	opt := Options{Quick: true}
+	seeds := make([]int64, 12)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+
+	uninterrupted, err := SweepSeedsStream(e, opt, seeds, 2, CampaignConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every=1000 never checkpoints periodically: whatever the
+	// checkpoint holds after the abort was written by the drain path.
+	ckpt := filepath.Join(t.TempDir(), "campaign.json")
+	_, err = SweepSeedsStream(e, opt, seeds, 2, CampaignConfig{
+		Checkpoint: ckpt,
+		Every:      1000,
+		OnFold: func(done, total int) error {
+			if done >= 5 {
+				return fmt.Errorf("shutting down: %w", ErrCampaignDrain)
+			}
+			return nil
+		},
+	})
+	if err == nil {
+		t.Fatal("drained campaign should report the abort")
+	}
+
+	c, err := artifact.ReadCampaign(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Completed != 5 {
+		t.Fatalf("drain checkpoint completed = %d, want 5 (the abort point)", c.Completed)
+	}
+
+	resumed, err := SweepSeedsStream(e, opt, seeds, 2, CampaignConfig{
+		Checkpoint: ckpt, Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Render() != uninterrupted.Render() {
+		t.Errorf("drained-and-resumed table differs from uninterrupted:\n%s\nvs\n%s",
+			resumed.Render(), uninterrupted.Render())
+	}
+}
