@@ -101,6 +101,10 @@ func BenchmarkE17Chaos(b *testing.B) { benchExperiment(b, "E17") }
 // sharded tick engine (quick sizes; both engines per arm).
 func BenchmarkE18MegaFleet(b *testing.B) { benchExperiment(b, "E18") }
 
+// BenchmarkE19TransitionRisk regenerates the transition-risk grid
+// (class × fault, seed-swept, planner-backed MRMs).
+func BenchmarkE19TransitionRisk(b *testing.B) { benchExperiment(b, "E19") }
+
 // benchMegaTick measures one full engine tick on a 200-pair quarry
 // (400 constituents plus agents) mid-incident, sequentially or with
 // the sharded plan installed. The ratio is the per-tick shard speedup

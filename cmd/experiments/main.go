@@ -1,5 +1,5 @@
 // Command experiments regenerates every table and figure of the paper
-// as simulation outputs (the E1..E18 index in DESIGN.md).
+// as simulation outputs (the E1..E19 index in DESIGN.md).
 //
 // Usage:
 //

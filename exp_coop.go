@@ -194,8 +194,14 @@ func RunE8(opt Options) Table {
 			"ego in "+rig.Ego.CurrentMRC().ID)
 	}
 
-	// (b) mine fire: negotiated evacuation (global MRC).
+	// (b) mine fire: negotiated evacuation (global MRC). The negotiated
+	// order serializes the MRMs, so the horizon must cover six
+	// back-to-back planned transits, not one.
 	{
+		evacHorizon := 5 * time.Minute
+		if opt.Quick {
+			evacHorizon = 3 * time.Minute
+		}
 		rig := mustQuarry(scenario.QuarryConfig{
 			Pairs: 2, TrucksPerPair: 2, Policy: scenario.PolicyAgreementSeeking, Seed: opt.Seed})
 		rig.Run(20 * time.Second)
@@ -209,7 +215,7 @@ func RunE8(opt Options) Table {
 		for _, d := range rig.Diggers {
 			d.TriggerMRMTo(env, "parking", "mine fire evacuation")
 		}
-		rig.Run(horizon)
+		rig.Run(evacHorizon)
 		order := ""
 		stopped := 0
 		for _, ev := range rig.Engine.Env().Log.ByKind(sim.EventMRCReached) {

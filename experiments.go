@@ -41,7 +41,7 @@ type Experiment struct {
 	Run   func(Options) Table
 }
 
-// AllExperiments returns the full E1..E17 index in order.
+// AllExperiments returns the full E1..E19 index in order.
 func AllExperiments() []Experiment {
 	return []Experiment{
 		{"E1", "Individual MRM/MRC hierarchy with mid-MRM fallback", "Fig. 1a/1b", RunE1},
@@ -62,6 +62,7 @@ func AllExperiments() []Experiment {
 		{"E16", "Fleet-size scale sweep: cooperation payoff per deployment size", "scale extension (deployment-level evaluation)", RunE16},
 		{"E17", "V2X chaos: partition duration x loss x reorder per class", "design: V2X robustness", RunE17},
 		{"E18", "Mega-fleet scale: sharded tick engine, 50-2000 pairs", "scale extension (infrastructure-level fleets)", RunE18},
+		{"E19", "Transition risk per interaction class and fault mode", "planner extension (quantified Definition 3 risk)", RunE19},
 	}
 }
 

@@ -54,6 +54,9 @@ type Metrics struct {
 	OperationalShare     float64                       `json:"operational_share"`
 	StoppedInLaneSeconds float64                       `json:"stopped_in_lane_seconds"`
 	RiskExposure         float64                       `json:"risk_exposure_risk_seconds"`
+	Manoeuvres           int                           `json:"manoeuvres,omitempty"`
+	TransitionRiskMean   float64                       `json:"transition_risk_mean,omitempty"`
+	TransitionRiskMax    float64                       `json:"transition_risk_max,omitempty"`
 	ModeShare            map[string]map[string]float64 `json:"mode_share,omitempty"`
 }
 
@@ -70,6 +73,9 @@ func CaptureMetrics(r metrics.Report) Metrics {
 		OperationalShare:     r.OperationalShare,
 		StoppedInLaneSeconds: r.StoppedInLane.Seconds(),
 		RiskExposure:         r.RiskExposure,
+		Manoeuvres:           r.Manoeuvres,
+		TransitionRiskMean:   r.TransitionRiskMean,
+		TransitionRiskMax:    r.TransitionRiskMax,
 		ModeShare:            r.ModeShare,
 	}
 }

@@ -88,12 +88,12 @@ func driveDifferential(t *testing.T, cfg NetConfig, seed int64, ticks int) {
 // over the chaos configuration space.
 func TestHeapDeliverMatchesScanOracle(t *testing.T) {
 	configs := map[string]NetConfig{
-		"perfect":  {},
-		"latency":  {Latency: 150 * time.Millisecond},
-		"jitter":   {Latency: 50 * time.Millisecond, Jitter: 400 * time.Millisecond},
-		"lossy":    {Latency: 50 * time.Millisecond, Jitter: 200 * time.Millisecond, LossProb: 0.2},
-		"reorder":  {Latency: 50 * time.Millisecond, ReorderProb: 0.3, ReorderWindow: time.Second},
-		"dup":      {Latency: 50 * time.Millisecond, Jitter: 100 * time.Millisecond, DupProb: 0.25},
+		"perfect": {},
+		"latency": {Latency: 150 * time.Millisecond},
+		"jitter":  {Latency: 50 * time.Millisecond, Jitter: 400 * time.Millisecond},
+		"lossy":   {Latency: 50 * time.Millisecond, Jitter: 200 * time.Millisecond, LossProb: 0.2},
+		"reorder": {Latency: 50 * time.Millisecond, ReorderProb: 0.3, ReorderWindow: time.Second},
+		"dup":     {Latency: 50 * time.Millisecond, Jitter: 100 * time.Millisecond, DupProb: 0.25},
 		"everything": {
 			Latency: 80 * time.Millisecond, Jitter: 300 * time.Millisecond,
 			LossProb: 0.1, ReorderProb: 0.2, DupProb: 0.15,

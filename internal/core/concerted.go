@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"coopmrm/internal/sim"
+	"coopmrm/internal/traj"
 )
 
 // ConcertedMRM is an MRM jointly performed by several AVs to reduce
@@ -31,6 +32,7 @@ type ConcertedMRM struct {
 	startedAt time.Duration
 	completed bool
 	failed    bool
+	fleetRisk float64 // joint transition risk of the selected plan; <0 when scripted
 }
 
 var _ sim.Entity = (*ConcertedMRM)(nil)
@@ -46,8 +48,14 @@ func NewConcertedMRM(initiator *Constituent, helpers []*Constituent, reason stri
 		AssistSpeed: 2.0,
 		Timeout:     5 * time.Minute,
 		reason:      reason,
+		fleetRisk:   -1,
 	}
 }
+
+// FleetRisk returns the joint transition risk of the selected
+// concerted plan, or -1 when the episode fell back to the scripted
+// assist (no joint plan was feasible).
+func (e *ConcertedMRM) FleetRisk() float64 { return e.fleetRisk }
 
 // ID implements sim.Entity.
 func (e *ConcertedMRM) ID() string { return "concerted:" + e.initiator.ID() }
@@ -85,12 +93,47 @@ func (e *ConcertedMRM) Start(env *sim.Env) {
 			names += ","
 		}
 		names += h.ID()
-		h.AssistSlowdown(e.AssistSpeed)
 	}
 	e.startedAt = env.Clock.Now()
+
+	// Joint trajectory selection (Definition 3): the initiator's MRM
+	// candidates and each helper's hold profiles are picked together to
+	// minimise the fleet-wide transition risk — including the pairwise
+	// interaction between the chosen trajectories — instead of each
+	// vehicle choosing greedily.
+	fields := map[string]string{"helpers": names, "reason": e.reason}
+	if m, zone, cands, ok := e.initiator.MRMCandidates(); ok {
+		sets := make([][]traj.Candidate, 0, 1+len(e.helpers))
+		sets = append(sets, cands)
+		holds := []float64{0.5 * e.AssistSpeed, e.AssistSpeed, 2 * e.AssistSpeed}
+		for _, h := range e.helpers {
+			sets = append(sets, h.HoldCandidates(holds))
+		}
+		sel, fleetRisk := e.initiator.Planner().SelectJoint(sets)
+		if sel[0] >= 0 && cands[sel[0]].Risk <= e.initiator.Planner().Config().RiskCeiling {
+			for i, h := range e.helpers {
+				if k := sel[i+1]; k >= 0 {
+					h.AssistSlowdown(sets[i+1][k].Cruise)
+				} else {
+					h.AssistSlowdown(e.AssistSpeed)
+				}
+			}
+			e.fleetRisk = fleetRisk
+			fields["fleet_risk"] = fmt.Sprintf("%.3f", fleetRisk)
+			env.EmitFields(sim.EventMRMConcerted, e.initiator.ID(),
+				fmt.Sprintf("concerted MRM with %d helper(s), fleet transition risk %.3f",
+					len(e.helpers), fleetRisk), fields)
+			e.initiator.TriggerMRMPlanned(env, "concerted: "+e.reason, m, zone, cands[sel[0]])
+			return
+		}
+	}
+	// No joint plan under the ceiling (or nothing positional feasible):
+	// scripted assist + ordinary MRM trigger.
 	env.EmitFields(sim.EventMRMConcerted, e.initiator.ID(),
-		fmt.Sprintf("concerted MRM with %d helper(s)", len(e.helpers)),
-		map[string]string{"helpers": names, "reason": e.reason})
+		fmt.Sprintf("concerted MRM with %d helper(s)", len(e.helpers)), fields)
+	for _, h := range e.helpers {
+		h.AssistSlowdown(e.AssistSpeed)
+	}
 	e.initiator.TriggerMRM(env, "concerted: "+e.reason)
 }
 

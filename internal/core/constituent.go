@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -11,6 +12,7 @@ import (
 	"coopmrm/internal/odd"
 	"coopmrm/internal/sensor"
 	"coopmrm/internal/sim"
+	"coopmrm/internal/traj"
 	"coopmrm/internal/vehicle"
 	"coopmrm/internal/world"
 )
@@ -89,6 +91,20 @@ type Config struct {
 	Net *comm.Network
 	// Goal is the initial user-defined strategic goal label.
 	Goal string
+	// Seed is the run seed the trajectory planner's private stream is
+	// derived from (together with the constituent ID); 0 means 1. The
+	// stream is private so MRM planning stays byte-identical for any
+	// worker count under the sharded tick engine (worker Envs carry no
+	// RNG by design).
+	Seed int64
+	// Planner overrides the trajectory-planner knobs (default
+	// traj.DefaultConfig()).
+	Planner *traj.Config
+	// Obstacles, when set, supplies the other constituents' observed
+	// states at planning time (a read-only per-tick snapshot — the
+	// planner must never touch live bodies from a worker goroutine).
+	// Nil plans against an empty world.
+	Obstacles func() []traj.Obstacle
 }
 
 // Constituent is one automated vehicle or machine: body + perception
@@ -126,6 +142,26 @@ type Constituent struct {
 	mrmReason    string
 	mrmFeasible  bool // false when even the hierarchy had nothing feasible
 	occupiedZone string
+
+	// Trajectory planning state (positional MRMs execute a planned
+	// candidate instead of a scripted cruise).
+	planner   *traj.Planner
+	obstacles func() []traj.Obstacle
+	planned   traj.Candidate
+	plannedOK bool
+	planAt    time.Duration
+	replans   int
+	// ReplanEvery is the cadence of the mid-MRM staleness check on the
+	// active planned trajectory (default DefaultReplanEvery; the check
+	// draws no randomness, only a genuine replan does).
+	ReplanEvery time.Duration
+
+	// Measured transition risk per manoeuvre (planned candidates and
+	// scored scripted stops alike).
+	lastRisk float64
+	riskSum  float64
+	riskMax  float64
+	riskN    int
 
 	interventions int
 	autoRecovered int
@@ -195,6 +231,10 @@ func NewConstituent(cfg Config) (*Constituent, error) {
 	if cfg.Goal == "" {
 		cfg.Goal = "user_goal"
 	}
+	pcfg := traj.DefaultConfig()
+	if cfg.Planner != nil {
+		pcfg = *cfg.Planner
+	}
 	c := &Constituent{
 		id:           cfg.ID,
 		body:         vehicle.NewBody(cfg.Spec, cfg.Start),
@@ -213,6 +253,9 @@ func NewConstituent(cfg Config) (*Constituent, error) {
 		locUp:        true,
 		speedCap:     cfg.Spec.MaxSpeed,
 		assistCap:    -1,
+		planner:      traj.New(traj.Seed(cfg.Seed, cfg.ID), pcfg),
+		obstacles:    cfg.Obstacles,
+		ReplanEvery:  DefaultReplanEvery,
 		GateTimeout:  DefaultGateTimeout,
 		gatedSince:   -1,
 	}
@@ -300,13 +343,18 @@ func (c *Constituent) Capabilities() vehicle.Capabilities {
 	return vehicle.Capabilities{
 		PerceptionRange: c.suite.EffectiveRange(),
 		MaxSpeed:        spec.MaxSpeed,
-		ServiceBrake:    c.body.BrakeFactor() > 0.1,
-		EmergencyBrake:  c.body.BrakeFactor() > 0.1,
-		Steering:        c.body.SteeringOK(),
-		Propulsion:      c.body.PropulsionOK(),
-		Comm:            c.commUp,
-		Tool:            c.toolUp,
-		Localization:    c.locUp,
+		// A hard stop tolerates more brake degradation than a
+		// controlled (comfortable) one: between the two thresholds only
+		// the emergency stop remains feasible, which is what lets the
+		// Fig. 1b fallback chain hop from in-lane to emergency on a
+		// severe (but not total) brake failure.
+		ServiceBrake:   c.body.BrakeFactor() > 0.1,
+		EmergencyBrake: c.body.BrakeFactor() > 0.05,
+		Steering:       c.body.SteeringOK(),
+		Propulsion:     c.body.PropulsionOK(),
+		Comm:           c.commUp,
+		Tool:           c.toolUp,
+		Localization:   c.locUp,
 	}
 }
 
@@ -539,18 +587,9 @@ func (c *Constituent) stepMRM(env *sim.Env, caps vehicle.Capabilities) {
 	// an easier MRC (Fig. 1b).
 	if c.mrmFeasible {
 		if _, ok := c.currentMRC.Feasible(caps, c.body.Position(), c.world); !ok {
-			if next, zone, ok := c.hier.SelectBelow(c.currentMRC.ID, caps, c.body.Position(), c.world); ok {
-				env.EmitFields(sim.EventMRMSwitched, c.id,
-					fmt.Sprintf("MRM %s infeasible, switching to %s", c.currentMRC.ID, next.ID),
-					map[string]string{"from": c.currentMRC.ID, "to": next.ID})
-				c.currentMRC = next
-				c.targetZone = zone
-				c.executeMRM(next, zone)
-			} else {
-				env.Emit(sim.EventMRMSwitched, c.id, "no feasible MRC remains; hard stop")
-				c.mrmFeasible = false
-				c.body.EmergencyStop()
-			}
+			c.fallbackMRM(env)
+		} else if c.plannedOK {
+			c.stepPlanned(env)
 		}
 	}
 	if c.mrcReached() {
@@ -612,24 +651,16 @@ func (c *Constituent) TriggerMRM(env *sim.Env, reason string) {
 		// effort hard stop; concerted or prescriptive help must cover
 		// the rest.
 		c.mrmFeasible = false
+		c.plannedOK = false
 		c.currentMRC = MRC{ID: "helpless", Stop: StopEmergency, Risk: 1}
 		c.body.EmergencyStop()
+		c.recordManoeuvre(c.measureStopRisk(c.currentMRC, true))
 		env.EmitFields(sim.EventMRMStarted, c.id, "no feasible MRC: best-effort stop ("+reason+")",
-			map[string]string{"mrc": "helpless", "reason": reason})
+			map[string]string{"mrc": "helpless", "reason": reason,
+				"transition_risk": fmt.Sprintf("%.3f", c.lastRisk)})
 		return
 	}
-	c.mrmFeasible = true
-	c.currentMRC = m
-	c.targetZone = zone
-	c.goal = "mrc:" + m.ID
-	env.EmitFields(sim.EventMRMStarted, c.id, "MRM to "+m.ID+" ("+reason+")",
-		map[string]string{"mrc": m.ID, "reason": reason})
-	c.executeMRM(m, zone)
-	if c.OnMRMStarted != nil {
-		// Fired after planning so listeners can read the MRM path
-		// (e.g. intent-sharing announces the planned stop point).
-		c.OnMRMStarted(c, m, reason)
-	}
+	c.startSelected(env, reason, m, zone, nil)
 }
 
 // CommandMRM lets an external entity (directing vehicle, TMS, road
@@ -661,38 +692,279 @@ func (c *Constituent) TriggerMRMTo(env *sim.Env, mrcID, reason string) {
 	}
 	c.mode = ModeMRM
 	c.mrmReason = reason
+	c.startSelected(env, reason, m, zone, nil)
+}
+
+// TriggerMRMPlanned starts an MRM into the given (pre-selected) MRC
+// executing a jointly selected candidate trajectory — concerted
+// episodes pick the fleet-optimal combination before triggering. When
+// the candidate's path is refused (steering died since selection) the
+// constituent falls back to ordinary planning and then down the
+// hierarchy.
+func (c *Constituent) TriggerMRMPlanned(env *sim.Env, reason string, m MRC, zone world.Zone, cand traj.Candidate) {
+	if c.mode == ModeMRM || c.mode == ModeMRC {
+		return
+	}
+	c.mode = ModeMRM
+	c.mrmReason = reason
+	c.startSelected(env, reason, m, zone, &cand)
+}
+
+// startSelected commits to the selected MRC and starts the manoeuvre:
+// execute (a pre-selected joint candidate when given, else plan), emit
+// the started event with the measured transition risk, and walk the
+// fallback chain when the manoeuvre cannot start.
+func (c *Constituent) startSelected(env *sim.Env, reason string, m MRC, zone world.Zone, pre *traj.Candidate) {
 	c.mrmFeasible = true
 	c.currentMRC = m
 	c.targetZone = zone
 	c.goal = "mrc:" + m.ID
-	env.EmitFields(sim.EventMRMStarted, c.id, "MRM to "+m.ID+" ("+reason+")",
-		map[string]string{"mrc": m.ID, "reason": reason})
-	c.executeMRM(m, zone)
+	started := false
+	if pre != nil && (m.Stop == StopContinueToSafe || m.Stop == StopAdjacent) {
+		if err := c.body.SetPath(pre.Path, pre.Cruise); err == nil {
+			c.planned = *pre
+			c.plannedOK = true
+			c.planAt = env.Clock.Now()
+			c.recordManoeuvre(pre.Risk)
+			started = true
+		}
+	}
+	if !started {
+		started = c.executeMRM(env, m, zone)
+	}
+	fields := map[string]string{"mrc": m.ID, "reason": reason}
+	if started {
+		fields["transition_risk"] = fmt.Sprintf("%.3f", c.lastRisk)
+	}
+	env.EmitFields(sim.EventMRMStarted, c.id, "MRM to "+m.ID+" ("+reason+")", fields)
+	if !started {
+		// No candidate under the risk ceiling (or steering refused the
+		// path): fall back down the hierarchy through the normal
+		// switch path, one emitted event per hop.
+		c.fallbackMRM(env)
+	}
 	if c.OnMRMStarted != nil {
-		c.OnMRMStarted(c, m, reason)
+		// Fired after planning so listeners can read the MRM path
+		// (e.g. intent-sharing announces the planned stop point).
+		c.OnMRMStarted(c, c.currentMRC, reason)
 	}
 }
 
-func (c *Constituent) executeMRM(m MRC, zone world.Zone) {
+// executeMRM begins the manoeuvre into m. For positional MRCs it plans
+// and executes a sampled trajectory; in-place and emergency stops are
+// scripted but still get a measured transition risk (ScoreStop). The
+// return is false when the manoeuvre could not start — no candidate
+// under the planner's risk ceiling, or the body refused the path — and
+// the caller must continue down the fallback chain.
+func (c *Constituent) executeMRM(env *sim.Env, m MRC, zone world.Zone) bool {
+	c.plannedOK = false
 	switch m.Stop {
 	case StopEmergency:
 		c.body.EmergencyStop()
+		c.recordManoeuvre(c.measureStopRisk(m, true))
 	case StopInPlace:
 		c.body.CommandStop()
+		c.recordManoeuvre(c.measureStopRisk(m, false))
 	default:
-		p := c.planRoute(c.body.Position(), zone)
-		speed := c.speedCap * 0.6
-		if speed < 1 {
-			speed = 1
+		route := c.planRoute(c.body.Position(), zone)
+		cand, ok := c.planner.Plan(c.planRequest(m, zone, route))
+		if !ok {
+			return false
 		}
-		if err := c.body.SetPath(p, speed); err != nil {
+		if err := c.body.SetPath(cand.Path, cand.Cruise); err != nil {
 			// Steering died between selection and execution.
-			c.body.CommandStop()
-			c.currentMRC = MRC{ID: "in_place_fallback", Stop: StopInPlace, Risk: 0.8}
-			c.targetZone = world.Zone{}
+			return false
 		}
+		c.planned = cand
+		c.plannedOK = true
+		c.planAt = env.Clock.Now()
+		c.recordManoeuvre(cand.Risk)
+	}
+	return true
+}
+
+// fallbackMRM walks the hierarchy downward from the current MRC until
+// a manoeuvre starts (Fig. 1b), emitting one EventMRMSwitched per
+// successful hop. When nothing below is feasible the constituent
+// hard-stops where it is.
+func (c *Constituent) fallbackMRM(env *sim.Env) {
+	caps := c.Capabilities()
+	for {
+		next, zone, ok := c.hier.SelectBelow(c.currentMRC, caps, c.body.Position(), c.world)
+		if !ok {
+			env.Emit(sim.EventMRMSwitched, c.id, "no feasible MRC remains; hard stop")
+			c.mrmFeasible = false
+			c.plannedOK = false
+			c.targetZone = world.Zone{}
+			c.body.EmergencyStop()
+			c.recordManoeuvre(c.measureStopRisk(MRC{Risk: 1}, true))
+			return
+		}
+		from := c.currentMRC.ID
+		c.currentMRC = next
+		c.targetZone = zone
+		if c.executeMRM(env, next, zone) {
+			c.goal = "mrc:" + next.ID
+			env.EmitFields(sim.EventMRMSwitched, c.id,
+				fmt.Sprintf("MRM %s infeasible, switching to %s", from, next.ID),
+				map[string]string{"from": from, "to": next.ID,
+					"transition_risk": fmt.Sprintf("%.3f", c.lastRisk)})
+			return
+		}
+		// Planning below the ceiling failed for this hop too: keep
+		// descending (SelectBelow now continues from next.Risk).
 	}
 }
+
+// stepPlanned drives the active planned trajectory: the per-tick speed
+// schedule realises the candidate's deceleration profile (the body
+// itself knows only one target speed), and every ReplanEvery the
+// remaining trajectory is re-scored against fresh obstacles — genuine
+// mid-MRM replanning when it has gone stale.
+func (c *Constituent) stepPlanned(env *sim.Env) {
+	// v(s) = min(cruise, sqrt(2·a·s_rem)): decelerate along the
+	// candidate's approach profile toward the stop point.
+	rem := c.body.RemainingPath()
+	sched := math.Sqrt(2 * c.planned.Decel * math.Max(rem, 0))
+	if sched > c.planned.Cruise {
+		sched = c.planned.Cruise
+	}
+	if !c.body.Stopping() && !c.body.Idle() {
+		c.body.SetTargetSpeed(sched)
+	}
+
+	every := c.ReplanEvery
+	if every <= 0 {
+		every = DefaultReplanEvery
+	}
+	now := env.Clock.Now()
+	if now-c.planAt < every {
+		return
+	}
+	c.planAt = now
+	done, _ := c.body.PathProgress()
+	fresh := c.planner.ScoreRemaining(c.planRequest(c.currentMRC, c.targetZone, nil), c.planned, done)
+	if fresh.Risk <= c.planner.Config().RiskCeiling {
+		return
+	}
+	// The in-flight trajectory has gone stale (obstacles moved into
+	// it): re-sample from the current state.
+	c.replans++
+	route := c.planRoute(c.body.Position(), c.targetZone)
+	cand, ok := c.planner.Plan(c.planRequest(c.currentMRC, c.targetZone, route))
+	if ok {
+		if err := c.body.SetPath(cand.Path, cand.Cruise); err == nil {
+			c.planned = cand
+			c.plannedOK = true
+			c.recordManoeuvre(cand.Risk)
+			env.EmitFields(sim.EventMRMReplanned, c.id,
+				fmt.Sprintf("replanned %s trajectory (stale risk %.3f)", c.currentMRC.ID, fresh.Risk),
+				map[string]string{"mrc": c.currentMRC.ID,
+					"stale_risk":      fmt.Sprintf("%.3f", fresh.Risk),
+					"transition_risk": fmt.Sprintf("%.3f", cand.Risk)})
+			return
+		}
+	}
+	// No candidate under the ceiling from here: fall back down the
+	// hierarchy.
+	c.fallbackMRM(env)
+}
+
+// planRequest assembles the planning problem for the current state.
+// Obstacle states come from the rig-provided snapshot closure — never
+// from live bodies, which other worker goroutines may be stepping.
+func (c *Constituent) planRequest(m MRC, zone world.Zone, route *geom.Path) traj.Request {
+	spec := c.body.Spec()
+	cap := c.speedCap
+	if c.assistCap >= 0 && c.assistCap < cap {
+		cap = c.assistCap
+	}
+	req := traj.Request{
+		ID:           c.id,
+		Route:        route,
+		Pose:         c.body.Pose(),
+		Speed:        c.body.Speed(),
+		SpeedCap:     cap,
+		Spec:         spec,
+		BrakeFactor:  c.body.BrakeFactor(),
+		Radius:       0.5 * math.Hypot(spec.Length, spec.Width),
+		World:        c.world,
+		Zone:         zone,
+		FallbackRisk: m.Risk,
+	}
+	if c.obstacles != nil {
+		req.Obstacles = c.obstacles()
+	}
+	return req
+}
+
+// measureStopRisk scores the scripted stop the constituent is about to
+// perform, so in-place/emergency manoeuvres report a measured
+// transition risk rather than the MRC's nominal figure.
+func (c *Constituent) measureStopRisk(m MRC, emergency bool) float64 {
+	spec := c.body.Spec()
+	decel := spec.ServiceDecel
+	if emergency {
+		decel = spec.EmergencyDecel
+	}
+	return c.planner.ScoreStop(c.planRequest(m, world.Zone{}, nil), decel*c.body.BrakeFactor()).Risk
+}
+
+func (c *Constituent) recordManoeuvre(risk float64) {
+	c.lastRisk = risk
+	c.riskSum += risk
+	if c.riskN == 0 || risk > c.riskMax {
+		c.riskMax = risk
+	}
+	c.riskN++
+}
+
+// TransitionRisk returns the measured transition risk accumulated over
+// the manoeuvres this constituent performed: the sum and maximum of
+// the per-manoeuvre risks, and the manoeuvre count.
+func (c *Constituent) TransitionRisk() (sum, max float64, n int) {
+	return c.riskSum, c.riskMax, c.riskN
+}
+
+// Replans returns the number of genuine mid-MRM replanning events.
+func (c *Constituent) Replans() int { return c.replans }
+
+// Planner exposes the constituent's trajectory planner (concerted
+// episodes use it for joint selection).
+func (c *Constituent) Planner() *traj.Planner { return c.planner }
+
+// MRMCandidates returns the scored candidate set for an MRM into the
+// currently best feasible MRC, for joint (concerted) selection. The
+// boolean is false when the best feasible MRC is not positional (or
+// nothing is feasible) — the episode then falls back to an ordinary
+// trigger.
+func (c *Constituent) MRMCandidates() (MRC, world.Zone, []traj.Candidate, bool) {
+	caps := c.Capabilities()
+	m, zone, ok := c.hier.Select(caps, c.body.Position(), c.world)
+	if !ok || (m.Stop != StopContinueToSafe && m.Stop != StopAdjacent) {
+		return m, zone, nil, false
+	}
+	route := c.planRoute(c.body.Position(), zone)
+	cands := c.planner.Candidates(c.planRequest(m, zone, route))
+	return m, zone, cands, len(cands) > 0
+}
+
+// HoldCandidates returns scored assist profiles (continue along the
+// current path at each hold speed) for concerted helper selection.
+func (c *Constituent) HoldCandidates(speeds []float64) []traj.Candidate {
+	var route *geom.Path
+	if p := c.body.Path(); p != nil {
+		done, _ := c.body.PathProgress()
+		if sub, err := p.SubPath(done, p.Len()); err == nil {
+			route = sub
+		}
+	}
+	return c.planner.HoldCandidates(c.planRequest(MRC{}, world.Zone{}, route), speeds)
+}
+
+// DefaultReplanEvery is the default cadence of the mid-MRM staleness
+// check on an active planned trajectory.
+const DefaultReplanEvery = 5 * time.Second
 
 // mrmStopPoint picks the stopped position inside the target zone: a
 // point a comfortable manoeuvre distance ahead of the vehicle,
@@ -763,6 +1035,7 @@ func (c *Constituent) stepAutoRecovery(env *sim.Env, caps vehicle.Capabilities, 
 	c.speedCap = c.body.Spec().MaxSpeed
 	c.assistCap = -1
 	c.mrmFeasible = false
+	c.plannedOK = false
 	c.currentMRC = MRC{}
 	c.targetZone = world.Zone{}
 	c.body.ClearPath()
@@ -791,6 +1064,7 @@ func (c *Constituent) Recover(env *sim.Env) {
 	c.speedCap = c.body.Spec().MaxSpeed
 	c.assistCap = -1
 	c.mrmFeasible = false
+	c.plannedOK = false
 	c.currentMRC = MRC{}
 	c.targetZone = world.Zone{}
 	c.body.ClearPath()

@@ -96,9 +96,18 @@ func (m MRC) Feasible(caps vehicle.Capabilities, pos geom.Vec2, w *world.World) 
 	if caps.PerceptionRange < m.MinPerception {
 		return world.Zone{}, false
 	}
-	if !caps.EmergencyBrake && !caps.ServiceBrake {
-		// A vehicle that cannot brake at all cannot reach any
+	if m.Stop == StopEmergency {
+		// A hard stop works with whatever brake authority remains; a
+		// vehicle with no brake authority at all cannot reach any
 		// stopped condition on its own.
+		if !caps.EmergencyBrake && !caps.ServiceBrake {
+			return world.Zone{}, false
+		}
+	} else if !caps.ServiceBrake {
+		// Controlled stops (continue-to-safe, adjacent refuge,
+		// in-place service stop) need enough brake authority for a
+		// comfortable deceleration — a heavily degraded brake that can
+		// still slam leaves only the emergency stop feasible.
 		return world.Zone{}, false
 	}
 	if m.TargetZone == 0 {
@@ -194,17 +203,15 @@ func (h *Hierarchy) Select(caps vehicle.Capabilities, pos geom.Vec2, w *world.Wo
 }
 
 // SelectBelow behaves like Select but only considers MRCs strictly
-// riskier than the one with the given ID — used when the current MRM
+// riskier than the given current MRC — used when the current MRM
 // becomes infeasible mid-execution and the executor must fall back
-// (Fig. 1b).
-func (h *Hierarchy) SelectBelow(currentID string, caps vehicle.Capabilities, pos geom.Vec2, w *world.World) (MRC, world.Zone, bool) {
-	past := false
+// (Fig. 1b). Selection is by risk ordering, not by ID position: the
+// current MRC may be a synthetic one (a best-effort "helpless" stop or
+// an in-place fallback) that never appears in the hierarchy, and the
+// fallback chain must still find the feasible easier MRCs below it.
+func (h *Hierarchy) SelectBelow(current MRC, caps vehicle.Capabilities, pos geom.Vec2, w *world.World) (MRC, world.Zone, bool) {
 	for _, m := range h.mrcs {
-		if m.ID == currentID {
-			past = true
-			continue
-		}
-		if !past {
+		if m.Risk <= current.Risk {
 			continue
 		}
 		if z, ok := m.Feasible(caps, pos, w); ok {

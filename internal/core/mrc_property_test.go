@@ -65,33 +65,56 @@ func TestSelectOptimalityProperty(t *testing.T) {
 	}
 }
 
-// Property: SelectBelow never returns the current MRC or anything
-// preferred over it.
+// Property: SelectBelow returns a feasible MRC strictly riskier than
+// the current one — including synthetic current MRCs that do not
+// appear in the hierarchy — and nothing less risky below it is
+// feasible.
 func TestSelectBelowProperty(t *testing.T) {
 	h := DefaultRoadHierarchy()
 	w := roadWorld()
 	ids := []string{"rest_stop", "shoulder", "in_lane", "emergency"}
-	f := func(bits uint8, idIdx uint8, rawRange uint16) bool {
+	f := func(bits uint8, idIdx uint8, rawRange uint16, synthetic bool) bool {
 		caps := capsFrom(bits, float64(rawRange%200))
 		pos := geom.V(float64(rawRange%900), 2)
-		current := ids[int(idIdx)%len(ids)]
+		var current MRC
+		if synthetic {
+			// A synthetic current MRC (the executor's in_place_fallback
+			// / helpless shapes) with a risk between hierarchy entries.
+			current = MRC{ID: "synthetic", Stop: StopInPlace,
+				Risk: 0.05 + float64(idIdx%10)*0.1}
+		} else {
+			current, _ = h.ByID(ids[int(idIdx)%len(ids)])
+		}
 		m, _, ok := h.SelectBelow(current, caps, pos, w)
 		if !ok {
+			// Then nothing strictly riskier may be feasible.
+			for _, cand := range h.MRCs() {
+				if cand.Risk <= current.Risk {
+					continue
+				}
+				if _, feasible := cand.Feasible(caps, pos, w); feasible {
+					return false
+				}
+			}
 			return true
 		}
-		// The result must come strictly after `current` in preference
-		// order.
-		seen := false
+		if m.Risk <= current.Risk {
+			return false
+		}
+		if _, feasible := m.Feasible(caps, pos, w); !feasible {
+			return false
+		}
+		// Optimality below the current risk: no feasible candidate
+		// strictly between current and the selection.
 		for _, cand := range h.MRCs() {
-			if cand.ID == current {
-				seen = true
+			if cand.Risk <= current.Risk || cand.Risk >= m.Risk {
 				continue
 			}
-			if cand.ID == m.ID {
-				return seen
+			if _, feasible := cand.Feasible(caps, pos, w); feasible {
+				return false
 			}
 		}
-		return false
+		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Error(err)

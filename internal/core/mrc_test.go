@@ -142,20 +142,48 @@ func TestSelectBelow(t *testing.T) {
 	h := DefaultRoadHierarchy()
 	w := roadWorld()
 	caps := fullCaps()
-	m, _, ok := h.SelectBelow("rest_stop", caps, geom.V(100, 2), w)
+	byID := func(id string) MRC {
+		m, ok := h.ByID(id)
+		if !ok {
+			t.Fatalf("no MRC %q", id)
+		}
+		return m
+	}
+	m, _, ok := h.SelectBelow(byID("rest_stop"), caps, geom.V(100, 2), w)
 	if !ok || m.ID != "shoulder" {
 		t.Errorf("SelectBelow(rest_stop) = %v, want shoulder", m.ID)
 	}
-	m, _, ok = h.SelectBelow("in_lane", caps, geom.V(100, 2), w)
+	m, _, ok = h.SelectBelow(byID("in_lane"), caps, geom.V(100, 2), w)
 	if !ok || m.ID != "emergency" {
 		t.Errorf("SelectBelow(in_lane) = %v, want emergency", m.ID)
 	}
-	if _, _, ok := h.SelectBelow("emergency", caps, geom.V(100, 2), w); ok {
+	if _, _, ok := h.SelectBelow(byID("emergency"), caps, geom.V(100, 2), w); ok {
 		t.Error("nothing below emergency")
 	}
-	// Unknown current ID: nothing is "below" it.
-	if _, _, ok := h.SelectBelow("zzz", caps, geom.V(100, 2), w); ok {
-		t.Error("unknown current should select nothing")
+}
+
+// Regression: the executor's synthetic MRCs (in_place_fallback,
+// helpless) never appear in the hierarchy, so the old ID-position
+// matching returned nothing and the vehicle hard-stopped even though
+// feasible easier MRCs remained. Selection is by risk ordering now: a
+// synthetic current MRC falls through to the first feasible MRC that
+// is strictly riskier than it.
+func TestSelectBelowSyntheticCurrent(t *testing.T) {
+	h := DefaultRoadHierarchy()
+	w := roadWorld()
+	caps := fullCaps()
+	caps.Steering = false // the loss that forced the synthetic fallback
+
+	cur := MRC{ID: "in_place_fallback", Stop: StopInPlace, Risk: 0.8}
+	m, _, ok := h.SelectBelow(cur, caps, geom.V(100, 2), w)
+	if !ok || m.ID != "emergency" {
+		t.Fatalf("SelectBelow(synthetic in_place_fallback) = %v, %v; want emergency, true", m.ID, ok)
+	}
+
+	// A synthetic current riskier than everything has nothing below it.
+	helpless := MRC{ID: "helpless", Stop: StopEmergency, Risk: 1}
+	if m, _, ok := h.SelectBelow(helpless, caps, geom.V(100, 2), w); ok {
+		t.Errorf("SelectBelow(helpless) = %v, want nothing", m.ID)
 	}
 }
 

@@ -102,9 +102,12 @@ func TestMRMRoutesViaGraph(t *testing.T) {
 	if p == nil {
 		t.Fatal("no MRM path")
 	}
+	// The trajectory planner may offset interior points laterally by up
+	// to its LateralMax (2.5 m), so "via the gate" means within that
+	// band of the gate node — far off the straight work->park diagonal.
 	viaGate := false
 	for _, q := range p.Points() {
-		if q.ApproxEq(geom.V(80, 0), 1e-6) {
+		if q.Dist(geom.V(80, 0)) <= 4 {
 			viaGate = true
 		}
 	}

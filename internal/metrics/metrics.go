@@ -43,6 +43,11 @@ type Probe struct {
 	// adopted MRC definition: an unresolved MRC keeps contributing
 	// risk.
 	StopRisk func() float64
+	// TransitionRisk returns the cumulative measured transition risk of
+	// the manoeuvres this constituent performed: the per-manoeuvre sum,
+	// the maximum, and the manoeuvre count. Nil when the constituent
+	// does not quantify its manoeuvres.
+	TransitionRisk func() (sum, max float64, n int)
 }
 
 // riskRelevant reports whether the probe currently contributes
@@ -365,6 +370,15 @@ type Report struct {
 	// spent in MRC (risk-seconds): the longer MRCs stay unresolved,
 	// the larger it grows.
 	RiskExposure float64
+	// Manoeuvres counts the MRM manoeuvres (including fallback hops and
+	// mid-MRM replans) whose transition risk was measured.
+	Manoeuvres int
+	// TransitionRiskMean is the mean measured transition risk per
+	// manoeuvre over the whole fleet (0 when no manoeuvre ran).
+	TransitionRiskMean float64
+	// TransitionRiskMax is the highest per-manoeuvre transition risk
+	// observed on any constituent.
+	TransitionRiskMax float64
 }
 
 // Report computes the summary.
@@ -392,7 +406,7 @@ func (c *Collector) Report() Report {
 	if c.interventions != nil {
 		r.Interventions = c.interventions()
 	}
-	var opSum float64
+	var opSum, riskSum float64
 	for _, p := range c.probes {
 		share := make(map[string]float64)
 		for mode, d := range c.modeTime[p.ID] {
@@ -403,6 +417,17 @@ func (c *Collector) Report() Report {
 		r.ModeShare[p.ID] = share
 		opSum += share["nominal"] + share["degraded"]
 		r.StoppedInLane += c.stoppedLane[p.ID]
+		if p.TransitionRisk != nil {
+			sum, max, n := p.TransitionRisk()
+			riskSum += sum
+			r.Manoeuvres += n
+			if max > r.TransitionRiskMax {
+				r.TransitionRiskMax = max
+			}
+		}
+	}
+	if r.Manoeuvres > 0 {
+		r.TransitionRiskMean = riskSum / float64(r.Manoeuvres)
 	}
 	if len(c.probes) > 0 {
 		r.OperationalShare = opSum / float64(len(c.probes))
@@ -425,6 +450,10 @@ func (r Report) String() string {
 	fmt.Fprintf(&b, "interventions      %d\n", r.Interventions)
 	fmt.Fprintf(&b, "stopped in lane    %s\n", r.StoppedInLane)
 	fmt.Fprintf(&b, "risk exposure      %.1f risk-s\n", r.RiskExposure)
+	if r.Manoeuvres > 0 {
+		fmt.Fprintf(&b, "transition risk    %.3f mean / %.3f max over %d manoeuvre(s)\n",
+			r.TransitionRiskMean, r.TransitionRiskMax, r.Manoeuvres)
+	}
 	ids := make([]string, 0, len(r.ModeShare))
 	for id := range r.ModeShare {
 		ids = append(ids, id)

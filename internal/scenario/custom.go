@@ -178,6 +178,7 @@ func Build(cfg FileConfig) (*CustomRig, error) {
 	}
 
 	// Constituents.
+	snap := &obstacleSnapshot{}
 	for _, vc := range cfg.Fleet {
 		kind, err := vehicle.ParseKind(vc.Kind)
 		if err != nil {
@@ -187,12 +188,14 @@ func Build(cfg FileConfig) (*CustomRig, error) {
 			return nil, err
 		}
 		c, err := core.NewConstituent(core.Config{
-			ID:    vc.ID,
-			Spec:  vehicle.DefaultSpec(kind),
-			Start: geom.Pose{Pos: geom.V(vc.X, vc.Y)},
-			World: w,
-			Net:   net,
-			Goal:  vc.Goal,
+			ID:        vc.ID,
+			Spec:      vehicle.DefaultSpec(kind),
+			Start:     geom.Pose{Pos: geom.V(vc.X, vc.Y)},
+			World:     w,
+			Net:       net,
+			Goal:      vc.Goal,
+			Seed:      cfg.Seed,
+			Obstacles: snap.obstaclesFor(vc.ID),
 		})
 		if err != nil {
 			return nil, err
@@ -209,6 +212,8 @@ func Build(cfg FileConfig) (*CustomRig, error) {
 			return nil, err
 		}
 	}
+	snap.track(rig.Constituents)
+	engine.AddPreHook(snap.hook())
 
 	toolersWork := func() bool {
 		for _, c := range rig.Constituents {

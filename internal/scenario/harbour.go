@@ -196,13 +196,16 @@ func NewHarbour(cfg HarbourConfig) (*HarbourRig, error) {
 	tolerantODD.MaxSlipRisk = 0.75
 	tolerantODD.MaxCondition = world.HeavyRain
 
+	snap := &obstacleSnapshot{}
 	rig.Crane = core.MustConstituent(core.Config{
-		ID:    "crane",
-		Spec:  vehicle.DefaultSpec(vehicle.KindCrane),
-		Start: geom.Pose{Pos: geom.V(-5, 10)},
-		World: w,
-		ODD:   &tolerantODD,
-		Goal:  "unload ship",
+		ID:        "crane",
+		Spec:      vehicle.DefaultSpec(vehicle.KindCrane),
+		Start:     geom.Pose{Pos: geom.V(-5, 10)},
+		World:     w,
+		ODD:       &tolerantODD,
+		Goal:      "unload ship",
+		Seed:      cfg.Seed,
+		Obstacles: snap.obstaclesFor("crane"),
 	})
 	e.MustRegister(rig.Crane)
 
@@ -210,12 +213,14 @@ func NewHarbour(cfg HarbourConfig) (*HarbourRig, error) {
 	for i := 0; i < cfg.Forklifts; i++ {
 		id := fmt.Sprintf("forklift%d", i+1)
 		f := core.MustConstituent(core.Config{
-			ID:    id,
-			Spec:  vehicle.DefaultSpec(vehicle.KindForklift),
-			Start: geom.Pose{Pos: geom.V(float64(-10*(i+1)), -5)},
-			World: w,
-			ODD:   &tolerantODD,
-			Goal:  "stack containers",
+			ID:        id,
+			Spec:      vehicle.DefaultSpec(vehicle.KindForklift),
+			Start:     geom.Pose{Pos: geom.V(float64(-10*(i+1)), -5)},
+			World:     w,
+			ODD:       &tolerantODD,
+			Goal:      "stack containers",
+			Seed:      cfg.Seed,
+			Obstacles: snap.obstaclesFor(id),
 		})
 		e.MustRegister(f)
 		rig.Forklifts = append(rig.Forklifts, f)
@@ -247,6 +252,9 @@ func NewHarbour(cfg HarbourConfig) (*HarbourRig, error) {
 		e.MustRegister(h)
 		rig.Hauls = append(rig.Hauls, h)
 	}
+
+	snap.track(rig.all())
+	e.AddPreHook(snap.hook())
 
 	rig.Supervisor = &HarbourSupervisor{
 		crane:     rig.Crane,

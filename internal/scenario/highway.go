@@ -130,6 +130,7 @@ func NewHighway(cfg HighwayConfig) (*HighwayRig, error) {
 	e.AddPreHook(net.Hook())
 
 	rig := &HighwayRig{Engine: e, World: w, Net: net}
+	snap := &obstacleSnapshot{}
 	roadODD := odd.DefaultRoadSpec()
 	for i := 0; i < cfg.NCars; i++ {
 		id := fmt.Sprintf("car%d", i+1)
@@ -143,11 +144,15 @@ func NewHighway(cfg HighwayConfig) (*HighwayRig, error) {
 			ODD:       &roadODD,
 			Hierarchy: core.DefaultRoadHierarchy(),
 			Goal:      "reach destination",
+			Seed:      cfg.Seed,
+			Obstacles: snap.obstaclesFor(id),
 		})
 		e.MustRegister(c)
 		rig.Cars = append(rig.Cars, c)
 	}
 	rig.Ego = rig.Cars[cfg.EgoIndex]
+	snap.track(rig.Cars)
+	e.AddPreHook(snap.hook())
 
 	for _, c := range rig.Cars {
 		c := c

@@ -68,19 +68,25 @@ func NewPlatoon(cfg PlatoonConfig) (*PlatoonRig, error) {
 	rig := &PlatoonRig{Engine: e, World: w}
 	roadODD := odd.DefaultRoadSpec()
 
+	snap := &obstacleSnapshot{}
 	for i := 0; i < cfg.Members; i++ {
+		id := fmt.Sprintf("member%d", i+1)
 		c := core.MustConstituent(core.Config{
-			ID:        fmt.Sprintf("member%d", i+1),
+			ID:        id,
 			Spec:      vehicle.DefaultSpec(vehicle.KindTruck),
 			Start:     geom.Pose{Pos: geom.V(float64(-25*i), 2)},
 			World:     w,
 			ODD:       &roadODD,
 			Hierarchy: core.DefaultRoadHierarchy(),
 			Goal:      "transport goods",
+			Seed:      cfg.Seed,
+			Obstacles: snap.obstaclesFor(id),
 		})
 		e.MustRegister(c)
 		rig.Members = append(rig.Members, c)
 	}
+	snap.track(rig.Members)
+	e.AddPreHook(snap.hook())
 	path := geom.MustPath(geom.V(-300, 2), geom.V(length, 2)).SetName("mission")
 	rig.Platoon = platoon.MustNew("platoon", path, rig.Members...)
 	rig.Platoon.Speed = cfg.Speed

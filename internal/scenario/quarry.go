@@ -180,6 +180,7 @@ func NewQuarry(cfg QuarryConfig) (*QuarryRig, error) {
 		Model:  core.NewDependencyModel(),
 		Groups: make(map[string]string),
 	}
+	snap := &obstacleSnapshot{}
 
 	// Diggers.
 	operationalDigger := func() bool {
@@ -194,12 +195,14 @@ func NewQuarry(cfg QuarryConfig) (*QuarryRig, error) {
 		id := fmt.Sprintf("digger%d", p+1)
 		net.MustRegister(id)
 		d := core.MustConstituent(core.Config{
-			ID:    id,
-			Spec:  vehicle.DefaultSpec(vehicle.KindDigger),
-			Start: geom.Pose{Pos: geom.V(5, float64(6*(p+1))), Heading: 0},
-			World: w,
-			Net:   net,
-			Goal:  "load trucks",
+			ID:        id,
+			Spec:      vehicle.DefaultSpec(vehicle.KindDigger),
+			Start:     geom.Pose{Pos: geom.V(5, float64(6*(p+1))), Heading: 0},
+			World:     w,
+			Net:       net,
+			Goal:      "load trucks",
+			Seed:      cfg.Seed,
+			Obstacles: snap.obstaclesFor(id),
 		})
 		e.MustRegister(d)
 		rig.Diggers = append(rig.Diggers, d)
@@ -212,12 +215,14 @@ func NewQuarry(cfg QuarryConfig) (*QuarryRig, error) {
 			id := fmt.Sprintf("truck%d_%d", p+1, k+1)
 			net.MustRegister(id)
 			c := core.MustConstituent(core.Config{
-				ID:    id,
-				Spec:  vehicle.DefaultSpec(vehicle.KindTruck),
-				Start: geom.Pose{Pos: geom.V(float64(-14*(p*cfg.TrucksPerPair+k+1)), 0)},
-				World: w,
-				Net:   net,
-				Goal:  "haul material",
+				ID:        id,
+				Spec:      vehicle.DefaultSpec(vehicle.KindTruck),
+				Start:     geom.Pose{Pos: geom.V(float64(-14*(p*cfg.TrucksPerPair+k+1)), 0)},
+				World:     w,
+				Net:       net,
+				Goal:      "haul material",
+				Seed:      cfg.Seed,
+				Obstacles: snap.obstaclesFor(id),
 			})
 			e.MustRegister(c)
 			rig.Trucks = append(rig.Trucks, c)
@@ -249,6 +254,11 @@ func NewQuarry(cfg QuarryConfig) (*QuarryRig, error) {
 			rig.Hauls = append(rig.Hauls, h)
 		}
 	}
+
+	// Planner obstacle snapshot: filled sequentially each tick before
+	// the (possibly sharded) entity steps.
+	snap.track(rig.All())
+	e.AddPreHook(snap.hook())
 
 	if err := rig.wirePolicy(cfg); err != nil {
 		return nil, err

@@ -9,11 +9,13 @@ package scenario
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"coopmrm/internal/core"
 	"coopmrm/internal/metrics"
 	"coopmrm/internal/sim"
+	"coopmrm/internal/traj"
 	"coopmrm/internal/world"
 )
 
@@ -76,16 +78,77 @@ type Result struct {
 // probeFor builds the standard metrics probe of a constituent.
 func probeFor(c *core.Constituent, w *world.World) metrics.Probe {
 	return metrics.Probe{
-		ID:        c.ID(),
-		Footprint: c.Body().Footprint,
-		Mode:      func() string { return c.Mode().String() },
-		Stopped:   c.Body().Stopped,
-		StopRisk:  func() float64 { return w.StopRiskAt(c.Body().Position()) },
+		ID:             c.ID(),
+		Footprint:      c.Body().Footprint,
+		Mode:           func() string { return c.Mode().String() },
+		Stopped:        c.Body().Stopped,
+		StopRisk:       func() float64 { return w.StopRiskAt(c.Body().Position()) },
+		TransitionRisk: c.TransitionRisk,
 		InActiveLane: func() bool {
 			pos := c.Body().Position()
 			return w.HasZoneKindAt(world.ZoneLane, pos) ||
 				w.HasZoneKindAt(world.ZoneTunnel, pos)
 		},
+	}
+}
+
+// obstacleSnapshot feeds the constituents' trajectory planners: a
+// sequential pre-hook copies every constituent's observed state into a
+// read-only snapshot once per tick, and obstaclesFor serves
+// everyone-but-self views of it. Planning events running on worker
+// goroutines under the sharded tick engine read only the snapshot —
+// never live bodies — which keeps the sharded run race-free and
+// byte-identical to the sequential one (the snapshot is always the
+// pre-step state of the tick, whatever the step interleaving).
+type obstacleSnapshot struct {
+	cs    []*core.Constituent
+	radii []float64
+	snap  []traj.Obstacle
+}
+
+// track registers the constituents. Call once after rig construction,
+// before the first tick; it also takes the initial snapshot so MRMs
+// triggered before the engine runs plan against real positions.
+func (s *obstacleSnapshot) track(cs []*core.Constituent) {
+	s.cs = cs
+	s.radii = make([]float64, len(cs))
+	s.snap = make([]traj.Obstacle, len(cs))
+	for i, c := range cs {
+		spec := c.Body().Spec()
+		s.radii[i] = 0.5 * math.Hypot(spec.Length, spec.Width)
+	}
+	s.fill()
+}
+
+func (s *obstacleSnapshot) fill() {
+	for i, c := range s.cs {
+		b := c.Body()
+		s.snap[i] = traj.Obstacle{
+			ID:     c.ID(),
+			Pos:    b.Position(),
+			Vel:    b.Pose().Forward().Scale(b.Speed()),
+			Radius: s.radii[i],
+		}
+	}
+}
+
+// hook returns the per-tick refresh; register it as a pre-hook so the
+// snapshot is filled sequentially before any entity steps.
+func (s *obstacleSnapshot) hook() sim.Hook { return func(*sim.Env) { s.fill() } }
+
+// obstaclesFor returns the planner feed for the constituent with the
+// given ID: the current snapshot minus itself. The returned slice is
+// reused across calls and must not be retained.
+func (s *obstacleSnapshot) obstaclesFor(id string) func() []traj.Obstacle {
+	var buf []traj.Obstacle
+	return func() []traj.Obstacle {
+		buf = buf[:0]
+		for _, o := range s.snap {
+			if o.ID != id {
+				buf = append(buf, o)
+			}
+		}
+		return buf
 	}
 }
 

@@ -13,7 +13,7 @@ import (
 // encodings and spelled-out defaults never reach the cache key — a
 // request is reduced to its CanonicalJob first (see Canonicalize).
 type JobRequest struct {
-	// Experiment is the experiment or ablation ID to run (E1..E18,
+	// Experiment is the experiment or ablation ID to run (E1..E19,
 	// A1..; see GET /v1/experiments).
 	Experiment string `json:"experiment"`
 	// Options mirrors the CLI knobs that shape output bytes.

@@ -176,7 +176,7 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-func (s *Server) jobsRoot() string        { return filepath.Join(s.cfg.StateDir, "jobs") }
+func (s *Server) jobsRoot() string         { return filepath.Join(s.cfg.StateDir, "jobs") }
 func (s *Server) jobDir(key string) string { return filepath.Join(s.jobsRoot(), key) }
 
 // recover rebuilds the in-memory index from disk.

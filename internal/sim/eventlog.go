@@ -25,6 +25,7 @@ const (
 	EventDegradCleared EventKind = "degradation.cleared"
 	EventMRMStarted    EventKind = "mrm.started"
 	EventMRMSwitched   EventKind = "mrm.switched"
+	EventMRMReplanned  EventKind = "mrm.replanned"
 	EventMRMConcerted  EventKind = "mrm.concerted"
 	EventMRCReached    EventKind = "mrc.reached"
 	EventMRCLocal      EventKind = "mrc.local"
