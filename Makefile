@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race vet lint bench benchdiff microbench campaign-smoke serve-smoke servebench
+.PHONY: build test check race vet lint bench benchdiff microbench campaign-smoke serve-smoke servebench memprofile-campaign
 
 build:
 	$(GO) build ./...
@@ -52,26 +52,29 @@ benchdiff:
 	$(GO) run ./cmd/benchdiff -threshold 0.5 BENCH_quick.json .bench-out/bench.json
 
 # campaign-smoke is the end-to-end exercise of the streaming campaign
-# path: run a small E1 sweep uninterrupted, run the same campaign
-# aborted mid-flight (-abort-after, the deterministic stand-in for a
-# kill), resume it from the checkpoint, and require the resumed output
-# to be byte-identical to the uninterrupted run. Exit 1 on any
-# divergence — this is the checkpoint/resume contract, not a timing
-# gate, so CI runs it blocking.
+# path: run a small E19 sweep uninterrupted on fresh rig construction,
+# run the same campaign on the warm-rig pool (-reuse-rigs) aborted
+# mid-flight (-abort-after, the deterministic stand-in for a kill),
+# resume it — also warm — from the checkpoint, and require the resumed
+# output to be byte-identical to the fresh uninterrupted run. One cmp
+# therefore pins two contracts at once: checkpoint/resume loses no
+# folded seed, and a campaign mixing warm and cold rigs produces the
+# same bytes as an all-cold one. Exit 1 on any divergence; not a
+# timing gate, so CI runs it blocking.
 campaign-smoke:
 	rm -rf .campaign-smoke && mkdir -p .campaign-smoke
-	$(GO) run ./cmd/experiments -quick -run E1 -seeds 1..8 -stream \
+	$(GO) run ./cmd/experiments -quick -run E19 -seeds 1..8 -stream \
 		>.campaign-smoke/uninterrupted.txt
-	-$(GO) run ./cmd/experiments -quick -run E1 -seeds 1..8 -stream \
+	-$(GO) run ./cmd/experiments -quick -run E19 -seeds 1..8 -stream -reuse-rigs \
 		-checkpoint .campaign-smoke/campaign.json -checkpoint-every 2 \
 		-abort-after 4 >/dev/null 2>&1
 	test -s .campaign-smoke/campaign.json
-	$(GO) run ./cmd/experiments -quick -run E1 -seeds 1..8 -stream \
+	$(GO) run ./cmd/experiments -quick -run E19 -seeds 1..8 -stream -reuse-rigs \
 		-checkpoint .campaign-smoke/campaign.json -resume \
 		>.campaign-smoke/resumed.txt
 	cmp .campaign-smoke/uninterrupted.txt .campaign-smoke/resumed.txt
 	rm -rf .campaign-smoke
-	@echo "campaign-smoke: resumed output byte-identical"
+	@echo "campaign-smoke: warm resumed output byte-identical to cold run"
 
 # serve-smoke is the coopmrmd drain/resume contract through real
 # processes and signals: run a sweep job to completion, run the same
@@ -89,6 +92,16 @@ serve-smoke:
 servebench:
 	$(GO) run ./cmd/coopmrmd -selfbench -bench-clients 8 -bench-jobs 32 \
 		-bench-out BENCH_serve.json
+
+# memprofile-campaign captures a heap profile of a streaming warm-rig
+# campaign: an E19 seed sweep served from the snapshot/reset rig pool,
+# serial so the profile reflects one worker's steady state. Inspect
+# with `go tool pprof campaign.memprofile`; the live heap should be
+# dominated by the parked rig chassis, not per-seed garbage.
+memprofile-campaign:
+	$(GO) run ./cmd/experiments -quick -run E19 -seeds 1..32 -stream -reuse-rigs \
+		-parallel 1 -memprofile campaign.memprofile >/dev/null
+	@echo "campaign.memprofile written (go tool pprof campaign.memprofile)"
 
 # microbench runs the Go micro-benchmarks with allocation accounting:
 # the per-artefact experiment benchmarks plus the hot-path pairs

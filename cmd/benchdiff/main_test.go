@@ -185,3 +185,113 @@ func TestDiffVarianceAwareVerdict(t *testing.T) {
 		t.Errorf("CI marker should cite the sample count:\n%s", out.String())
 	}
 }
+
+// writeBenchServe writes a serve-only bench/v1 report (the
+// BENCH_serve.json shape): no experiment entries, walls carried by the
+// serve rows and summed into the total.
+func writeBenchServe(t *testing.T, name string, rows []artifact.ServeBench) string {
+	t.Helper()
+	b := artifact.NewBench(1, 1, 1, true)
+	for _, r := range rows {
+		b.Serve = append(b.Serve, r)
+		b.WallSeconds += r.WallSeconds
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := artifact.WriteBench(path, b); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// Serve rows gate on jobs/sec drops; a legitimate serve baseline —
+// experiments absent, total wall zero in old reports predating the
+// wall fix — must not trip the zero-wall guard.
+func TestDiffServeRates(t *testing.T) {
+	mk := func(name string, coldRate float64, wall float64) string {
+		return writeBenchServe(t, name, []artifact.ServeBench{
+			{ID: "serve/cold", Clients: 8, Jobs: 32, WallSeconds: wall, JobsPerSec: coldRate},
+			{ID: "serve/cached", Clients: 8, Jobs: 32, WallSeconds: 0.01, JobsPerSec: 2900},
+		})
+	}
+	old := mk("old.json", 50, 0.6)
+	same := mk("same.json", 48, 0.6)
+	var out bytes.Buffer
+	code, err := run([]string{"-threshold", "0.25", old, same}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("near-identical serve rates flagged: code = %d, err = %v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "serve/cold") {
+		t.Errorf("output missing serve rows:\n%s", out.String())
+	}
+
+	slow := mk("slow.json", 30, 1.0)
+	out.Reset()
+	if code, err = run([]string{"-threshold", "0.25", old, slow}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 || !strings.Contains(out.String(), "REGRESSION (> 25% slower)") {
+		t.Errorf("40%% jobs/sec drop: code = %d, want 1 with slower marker\n%s", code, out.String())
+	}
+}
+
+// A serve baseline whose report-level wall is zero (the shape shipped
+// before selfbench summed phase walls) must not be flagged by the
+// zero-wall total guard — it has no experiment entries to back a total.
+func TestDiffServeOnlyZeroWallBaselinePasses(t *testing.T) {
+	old := filepath.Join(t.TempDir(), "old.json")
+	b := artifact.NewBench(0, 1, 1, true)
+	b.Serve = []artifact.ServeBench{{ID: "serve/cold", Clients: 8, Jobs: 32, WallSeconds: 0.6, JobsPerSec: 50}}
+	// WallSeconds deliberately left 0: the legacy serve-report shape.
+	if err := artifact.WriteBench(old, b); err != nil {
+		t.Fatal(err)
+	}
+	new_ := writeBenchServe(t, "new.json", []artifact.ServeBench{
+		{ID: "serve/cold", Clients: 8, Jobs: 32, WallSeconds: 0.6, JobsPerSec: 49},
+	})
+	var out bytes.Buffer
+	code, err := run([]string{"-threshold", "0.25", old, new_}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("legacy zero-wall serve baseline flagged: code = %d, err = %v\n%s", code, err, out.String())
+	}
+}
+
+// Campaign detail rows (seeds/sec) gate like serve rows: a throughput
+// drop beyond the threshold regresses, sub-noise-floor walls do not.
+func TestDiffCampaignSeedsPerSec(t *testing.T) {
+	mk := func(name string, warmRate float64) string {
+		b := artifact.NewBench(1, 1, 1, true)
+		b.Add("E20", 3*time.Second, 2, 2)
+		b.Details = []artifact.BenchDetail{
+			{ID: "E18/pairs=500", Ticks: 1000, WallSeconds: 1.0, TicksPerSec: 1000},
+			{ID: "E20/fresh", Seeds: 10000, WallSeconds: 2.0, SeedsPerSec: 5000},
+			{ID: "E20/warm", Seeds: 10000, WallSeconds: 1.0, SeedsPerSec: warmRate},
+		}
+		path := filepath.Join(t.TempDir(), name)
+		if err := artifact.WriteBench(path, b); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	old := mk("old.json", 12000)
+	ok_ := mk("ok.json", 11000)
+	var out bytes.Buffer
+	code, err := run([]string{"-threshold", "0.25", old, ok_}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("small seeds/sec wobble flagged: code = %d, err = %v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "E20/warm") {
+		t.Errorf("output missing campaign rows:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "E18/pairs=500") {
+		t.Errorf("tick-throughput details must stay out of the campaign section:\n%s", out.String())
+	}
+
+	slow := mk("slow.json", 6000)
+	out.Reset()
+	if code, err = run([]string{"-threshold", "0.25", old, slow}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 || !strings.Contains(out.String(), "REGRESSION (> 25% slower)") {
+		t.Errorf("50%% seeds/sec drop: code = %d, want 1 with slower marker\n%s", code, out.String())
+	}
+}

@@ -55,6 +55,10 @@ func selfBench(cfg server.Config, clients, jobs int, outPath string) error {
 			return err
 		}
 		bench.Serve = append(bench.Serve, sb)
+		// Serve phases are the report's only timed work, so their walls
+		// are the report total (a serve report used to ship
+		// "wall_seconds": 0, which reads as an empty run).
+		bench.WallSeconds += sb.WallSeconds
 		fmt.Printf("%-13s %d clients, %d jobs: %.2fs wall, %.1f jobs/s, %.1f runs/s (hits %d, misses %d)\n",
 			sb.ID, sb.Clients, sb.Jobs, sb.WallSeconds, sb.JobsPerSec, sb.RunsPerSec,
 			sb.CacheHits, sb.CacheMisses)

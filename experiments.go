@@ -24,6 +24,13 @@ type Options struct {
 	// changes. Experiments that manage their own shard arms (E18)
 	// interpret it as the sharded arm's worker count.
 	Shards int
+	// ReuseRigs serves campaign rigs from the warm-rig pool: a parked
+	// rig is Reset to the requested seed instead of constructed from
+	// scratch (internal/scenario.AcquireQuarry). Like Shards this is
+	// an operational knob — reset output is byte-identical to fresh
+	// construction (the warm-rig differentials), so tables, bundles
+	// and checkpoints do not depend on it; only wall time changes.
+	ReuseRigs bool
 }
 
 func (o Options) withDefaults() Options {
@@ -41,7 +48,7 @@ type Experiment struct {
 	Run   func(Options) Table
 }
 
-// AllExperiments returns the full E1..E19 index in order.
+// AllExperiments returns the full E1..E20 index in order.
 func AllExperiments() []Experiment {
 	return []Experiment{
 		{"E1", "Individual MRM/MRC hierarchy with mid-MRM fallback", "Fig. 1a/1b", RunE1},
@@ -63,6 +70,7 @@ func AllExperiments() []Experiment {
 		{"E17", "V2X chaos: partition duration x loss x reorder per class", "design: V2X robustness", RunE17},
 		{"E18", "Mega-fleet scale: sharded tick engine, 50-2000 pairs", "scale extension (infrastructure-level fleets)", RunE18},
 		{"E19", "Transition risk per interaction class and fault mode", "planner extension (quantified Definition 3 risk)", RunE19},
+		{"E20", "Campaign throughput: warm-rig pool vs fresh construction", "perf extension (snapshot/reset rig reuse)", RunE20},
 	}
 }
 

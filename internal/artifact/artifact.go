@@ -443,7 +443,10 @@ type BenchExperiment struct {
 // experiment: a single rig run with its tick throughput and the shard
 // count that produced it. The E18 scaling claim lives here — the
 // experiment *table* must stay byte-deterministic, so anything derived
-// from the wall clock is reported through bench.json instead.
+// from the wall clock is reported through bench.json instead. The
+// campaign fields (Seeds, SeedsPerSec) carry the E20 warm-rig
+// throughput claim: a seed-sweep arm reports how many seeds it
+// cycled and its rig-cycling rate (a schema addition, not a break).
 type BenchDetail struct {
 	ID          string  `json:"id"` // experiment / arm label, e.g. "E18/pairs=500"
 	Shards      int     `json:"shards"`
@@ -451,6 +454,8 @@ type BenchDetail struct {
 	Ticks       int64   `json:"ticks"`
 	WallSeconds float64 `json:"wall_seconds"`
 	TicksPerSec float64 `json:"ticks_per_sec"`
+	Seeds       int     `json:"seeds,omitempty"`
+	SeedsPerSec float64 `json:"seeds_per_sec,omitempty"`
 }
 
 // ServeBench is one sustained-throughput measurement of the coopmrmd
@@ -473,6 +478,9 @@ type ServeBench struct {
 // Bench is the run-level bench.json: wall-clock per experiment plus
 // the harness configuration that produced it. Unlike bundles it is
 // *not* byte-stable across runs — wall time is the payload.
+// Experiments is omitted when empty so serve-only reports
+// (BENCH_serve.json) don't carry an "experiments": null stub; readers
+// already treat a missing list and an empty one alike.
 type Bench struct {
 	Schema      string            `json:"schema"`
 	Parallel    int               `json:"parallel"`
@@ -480,7 +488,7 @@ type Bench struct {
 	Seeds       int               `json:"seeds"`
 	Quick       bool              `json:"quick"`
 	WallSeconds float64           `json:"wall_seconds"`
-	Experiments []BenchExperiment `json:"experiments"`
+	Experiments []BenchExperiment `json:"experiments,omitempty"`
 	Details     []BenchDetail     `json:"details,omitempty"`
 	Serve       []ServeBench      `json:"serve,omitempty"`
 }

@@ -202,6 +202,12 @@ type Network struct {
 	boundaryOrder func(from string) int
 	boundaryMu    sync.Mutex
 	boundaryBuf   []Message
+
+	// freeBufs parks the endpoint inbox buffers between warm-rig runs:
+	// Reset moves every registered inbox here and Register adopts one
+	// back, so re-wiring the same fleet after a Reset allocates no new
+	// inbox storage.
+	freeBufs []*inboxBuf
 }
 
 type envelope struct {
@@ -313,6 +319,52 @@ func NewNetwork(cfg NetConfig, rng *sim.RNG) *Network {
 	}
 }
 
+// Reset returns the network to its just-constructed state for a new
+// run under the given seed, retaining every backing allocation: the
+// transit heap array, the per-endpoint inbox buffers (parked on
+// freeBufs and re-adopted as the rig re-registers its fleet), and the
+// scratch lists. All registrations are dropped — registration order
+// drives broadcast fan-out order, so the rig must re-register
+// endpoints in exactly its construction order for a reset network to
+// be observationally identical to a fresh one (the warm-rig
+// differential tests prove it byte for byte). The RNG reseeds in
+// place to exactly the stream NewNetwork would have been handed.
+func (n *Network) Reset(seed int64) {
+	n.rng.Reseed(seed)
+	n.seq = 0
+	n.now = 0
+	n.nowFn = nil
+	clear(n.transit) // release Message payloads
+	n.transit = n.transit[:0]
+	for _, id := range n.order {
+		box := n.inbox[id]
+		clear(box.cur)
+		box.cur = box.cur[:0]
+		clear(box.prev)
+		box.prev = box.prev[:0]
+		n.freeBufs = append(n.freeBufs, box)
+	}
+	clear(n.inbox)
+	clear(n.order)
+	n.order = n.order[:0]
+	clear(n.downNode)
+	clear(n.downLink)
+	clear(n.recipBuf)
+	n.recipBuf = n.recipBuf[:0]
+	clear(n.dueBuf)
+	n.dueBuf = n.dueBuf[:0]
+	clear(n.laterBuf)
+	n.laterBuf = n.laterBuf[:0]
+	n.UseScanDeliver = false
+	n.sent = 0
+	n.dropped = 0
+	n.droppedBy = [numDropCauses]int64{}
+	n.boundaryOn = false
+	n.boundaryOrder = nil
+	clear(n.boundaryBuf)
+	n.boundaryBuf = n.boundaryBuf[:0]
+}
+
 // Register creates an inbox for the given ID. Duplicate registration
 // is an error.
 func (n *Network) Register(id string) error {
@@ -322,7 +374,13 @@ func (n *Network) Register(id string) error {
 	if _, dup := n.inbox[id]; dup {
 		return fmt.Errorf("comm: duplicate endpoint %q", id)
 	}
-	n.inbox[id] = &inboxBuf{}
+	box := &inboxBuf{}
+	if k := len(n.freeBufs); k > 0 {
+		box = n.freeBufs[k-1]
+		n.freeBufs[k-1] = nil
+		n.freeBufs = n.freeBufs[:k-1]
+	}
+	n.inbox[id] = box
 	n.order = append(n.order, id)
 	return nil
 }

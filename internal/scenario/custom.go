@@ -106,6 +106,11 @@ type CustomRig struct {
 	Model        *core.DependencyModel
 	Collector    *metrics.Collector
 	Injector     *fault.Injector
+
+	// Warm-rig lifecycle state (see QuarryRig).
+	cfg   FileConfig
+	wsnap world.Snapshot
+	prev  map[string]*core.Constituent
 }
 
 // Run executes the scenario for the horizon.
@@ -166,28 +171,86 @@ func Build(cfg FileConfig) (*CustomRig, error) {
 
 	engine := sim.NewEngine(sim.Config{Step: 100 * time.Millisecond, MaxTime: 24 * time.Hour, Seed: cfg.Seed})
 	net := comm.NewNetwork(comm.NetConfig{Latency: 50 * time.Millisecond}, sim.NewRNG(cfg.Seed))
-	engine.AddPreHook(net.Hook())
 
-	rig := &CustomRig{
-		Name:   cfg.Name,
-		Engine: engine,
-		World:  w,
-		Net:    net,
-		Hauls:  make(map[string]*agent.HaulAgent),
-		Model:  core.NewDependencyModel(),
+	rig := &CustomRig{Name: cfg.Name, Engine: engine, World: w, Net: net}
+	rig.Snapshot()
+	if err := rig.wire(cfg); err != nil {
+		return nil, err
 	}
+	return rig, nil
+}
+
+// Snapshot captures the seed-invariant world baseline Reset rewinds
+// to (see QuarryRig.Snapshot).
+func (r *CustomRig) Snapshot() { r.wsnap = r.World.Snapshot() }
+
+// Reset returns the rig to its just-constructed state under a new
+// seed; output is byte-identical to a freshly Built rig at that seed
+// (see QuarryRig.Reset). The weather schedule, if any, is rebuilt
+// from the FileConfig by wire, so it replays from t=0.
+func (r *CustomRig) Reset(seed int64) error {
+	cfg := r.cfg
+	cfg.Seed = seed
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+
+	if r.prev == nil {
+		r.prev = make(map[string]*core.Constituent, len(r.Constituents))
+	}
+	for _, c := range r.Constituents {
+		r.prev[c.ID()] = c
+	}
+
+	r.Engine.Reset(cfg.Seed)
+	r.Net.Reset(cfg.Seed)
+	r.World.Restore(r.wsnap)
+
+	clear(r.Constituents)
+	r.Constituents = r.Constituents[:0]
+	r.Hauls = nil
+	r.Model = nil
+	r.Collector = nil
+	r.Injector = nil
+
+	return r.wire(cfg)
+}
+
+// constituent re-adopts a parked shell by ID or builds a fresh one
+// (see QuarryRig.constituent; error-returning because Build is).
+func (r *CustomRig) constituent(cc core.Config) (*core.Constituent, error) {
+	if c := r.prev[cc.ID]; c != nil {
+		delete(r.prev, cc.ID)
+		if err := c.Reinit(cc); err != nil {
+			return nil, err
+		}
+		return c, nil
+	}
+	return core.NewConstituent(cc)
+}
+
+// wire performs every per-seed wiring step in fresh-construction
+// order; Reset replays it against rewound substrate.
+func (r *CustomRig) wire(cfg FileConfig) error {
+	engine, w, net := r.Engine, r.World, r.Net
+	g := w.Graph()
+	r.cfg = cfg
+	rig := r
+	engine.AddPreHook(net.Hook())
+	rig.Hauls = make(map[string]*agent.HaulAgent)
+	rig.Model = core.NewDependencyModel()
 
 	// Constituents.
 	snap := &obstacleSnapshot{}
 	for _, vc := range cfg.Fleet {
 		kind, err := vehicle.ParseKind(vc.Kind)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if err := net.Register(vc.ID); err != nil {
-			return nil, err
+			return err
 		}
-		c, err := core.NewConstituent(core.Config{
+		c, err := rig.constituent(core.Config{
 			ID:        vc.ID,
 			Spec:      vehicle.DefaultSpec(kind),
 			Start:     geom.Pose{Pos: geom.V(vc.X, vc.Y)},
@@ -198,10 +261,10 @@ func Build(cfg FileConfig) (*CustomRig, error) {
 			Obstacles: snap.obstaclesFor(vc.ID),
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if err := engine.Register(c); err != nil {
-			return nil, err
+			return err
 		}
 		rig.Constituents = append(rig.Constituents, c)
 		role := vc.Role
@@ -209,7 +272,7 @@ func Build(cfg FileConfig) (*CustomRig, error) {
 			role = vc.Kind
 		}
 		if err := rig.Model.AddConstituent(vc.ID, role, vc.Requires...); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	snap.track(rig.Constituents)
@@ -265,7 +328,7 @@ func Build(cfg FileConfig) (*CustomRig, error) {
 		}
 		h := agent.New(hc)
 		if err := engine.Register(h); err != nil {
-			return nil, err
+			return err
 		}
 		rig.Hauls[vc.ID] = h
 	}
@@ -282,23 +345,23 @@ func Build(cfg FileConfig) (*CustomRig, error) {
 	case "status_sharing":
 		for _, vc := range cfg.Fleet {
 			if err := engine.Register(coop.NewStatusSharing(newBase(rig.Hauls[vc.ID]))); err != nil {
-				return nil, err
+				return err
 			}
 		}
 	case "intent_sharing":
 		for _, vc := range cfg.Fleet {
 			if err := engine.Register(coop.NewIntentSharing(newBase(rig.Hauls[vc.ID]))); err != nil {
-				return nil, err
+				return err
 			}
 		}
 	case "coordinated":
 		for _, vc := range cfg.Fleet {
 			if err := engine.Register(collab.NewCoordinated(newBase(rig.Hauls[vc.ID]), rig.Model)); err != nil {
-				return nil, err
+				return err
 			}
 		}
 	default:
-		return nil, fmt.Errorf("scenario: config policy %q not supported (use baseline, status_sharing, intent_sharing or coordinated)", cfg.Policy)
+		return fmt.Errorf("scenario: config policy %q not supported (use baseline, status_sharing, intent_sharing or coordinated)", cfg.Policy)
 	}
 
 	// Weather script.
@@ -307,7 +370,7 @@ func Build(cfg FileConfig) (*CustomRig, error) {
 		for _, wc := range cfg.Weather {
 			cond, err := world.ParseCondition(wc.Condition)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			changes = append(changes, world.WeatherChange{
 				At:           time.Duration(wc.AtSeconds * float64(time.Second)),
@@ -317,7 +380,7 @@ func Build(cfg FileConfig) (*CustomRig, error) {
 		}
 		sched, err := world.NewWeatherSchedule(changes...)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		engine.AddPreHook(func(env *sim.Env) { sched.Apply(w, env.Clock.Now()) })
 	}
@@ -344,7 +407,7 @@ func Build(cfg FileConfig) (*CustomRig, error) {
 	for i, fc := range cfg.Faults {
 		kind, err := fault.ParseKind(fc.Kind)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sev := fc.Severity
 		if sev == 0 {
@@ -357,9 +420,9 @@ func Build(cfg FileConfig) (*CustomRig, error) {
 			ClearAt: time.Duration(fc.ClearAtSeconds * float64(time.Second)),
 		}
 		if err := rig.Injector.Schedule(f); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	engine.AddPreHook(rig.Injector.Hook())
-	return rig, nil
+	return nil
 }

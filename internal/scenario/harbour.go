@@ -57,6 +57,11 @@ type HarbourRig struct {
 	// allBuf caches the crane+forklifts concatenation for the per-tick
 	// neighbor closures (see all).
 	allBuf []*core.Constituent
+
+	// Warm-rig lifecycle state (see QuarryRig).
+	cfg   HarbourConfig
+	wsnap world.Snapshot
+	prev  map[string]*core.Constituent
 }
 
 // All returns crane plus forklifts.
@@ -168,7 +173,8 @@ func (s *HarbourSupervisor) declareGlobal(env *sim.Env, reason string) {
 	}
 }
 
-// NewHarbour builds the harbour rig.
+// NewHarbour builds the harbour rig: seed-invariant chassis, then
+// wire() — the per-seed wiring a warm Reset replays (see NewQuarry).
 func NewHarbour(cfg HarbourConfig) (*HarbourRig, error) {
 	cfg = cfg.withDefaults()
 	w := world.New()
@@ -188,6 +194,76 @@ func NewHarbour(cfg HarbourConfig) (*HarbourRig, error) {
 
 	e := sim.NewEngine(sim.Config{Step: 100 * time.Millisecond, MaxTime: 24 * time.Hour, Seed: cfg.Seed})
 	rig := &HarbourRig{Engine: e, World: w}
+	rig.Snapshot()
+	if err := rig.wire(cfg); err != nil {
+		return nil, err
+	}
+	return rig, nil
+}
+
+// Snapshot captures the seed-invariant world baseline Reset rewinds
+// to (see QuarryRig.Snapshot).
+func (r *HarbourRig) Snapshot() { r.wsnap = r.World.Snapshot() }
+
+// Reset returns the rig to its just-constructed state under a new
+// seed; output is byte-identical to a fresh rig at that seed (see
+// QuarryRig.Reset). The configured weather schedule, if any, rewinds
+// with the rig.
+func (r *HarbourRig) Reset(seed int64) error {
+	cfg := r.cfg
+	cfg.Seed = seed
+	cfg = cfg.withDefaults()
+
+	if r.prev == nil {
+		r.prev = make(map[string]*core.Constituent, 1+len(r.Forklifts))
+	}
+	r.prev[r.Crane.ID()] = r.Crane
+	for _, f := range r.Forklifts {
+		r.prev[f.ID()] = f
+	}
+
+	r.Engine.Reset(cfg.Seed)
+	r.World.Restore(r.wsnap)
+
+	r.Crane = nil
+	clear(r.Forklifts)
+	r.Forklifts = r.Forklifts[:0]
+	clear(r.Hauls)
+	r.Hauls = r.Hauls[:0]
+	r.allBuf = r.allBuf[:0]
+	r.Supervisor = nil
+	r.Collector = nil
+	r.Injector = nil
+
+	return r.wire(cfg)
+}
+
+// constituent re-adopts a parked shell by ID or builds a fresh one
+// (see QuarryRig.constituent).
+func (r *HarbourRig) constituent(cc core.Config) *core.Constituent {
+	if c := r.prev[cc.ID]; c != nil {
+		delete(r.prev, cc.ID)
+		if err := c.Reinit(cc); err != nil {
+			panic(err)
+		}
+		return c
+	}
+	return core.MustConstituent(cc)
+}
+
+// wire performs every per-seed wiring step in fresh-construction
+// order; Reset replays it against rewound substrate.
+func (r *HarbourRig) wire(cfg HarbourConfig) error {
+	e, w := r.Engine, r.World
+	g := w.Graph()
+	r.cfg = cfg
+	rig := r
+
+	// A reused schedule must replay from t=0 exactly as a fresh one
+	// would (no-op on fresh construction).
+	if cfg.Weather != nil {
+		cfg.Weather.Rewind()
+	}
 
 	// The machines themselves tolerate poor traction (heavy treads);
 	// the *site's* risk decision belongs to the supervisor, whose
@@ -197,7 +273,7 @@ func NewHarbour(cfg HarbourConfig) (*HarbourRig, error) {
 	tolerantODD.MaxCondition = world.HeavyRain
 
 	snap := &obstacleSnapshot{}
-	rig.Crane = core.MustConstituent(core.Config{
+	rig.Crane = rig.constituent(core.Config{
 		ID:        "crane",
 		Spec:      vehicle.DefaultSpec(vehicle.KindCrane),
 		Start:     geom.Pose{Pos: geom.V(-5, 10)},
@@ -212,7 +288,7 @@ func NewHarbour(cfg HarbourConfig) (*HarbourRig, error) {
 	craneWorks := func() bool { return rig.Crane.Operational() }
 	for i := 0; i < cfg.Forklifts; i++ {
 		id := fmt.Sprintf("forklift%d", i+1)
-		f := core.MustConstituent(core.Config{
+		f := rig.constituent(core.Config{
 			ID:        id,
 			Spec:      vehicle.DefaultSpec(vehicle.KindForklift),
 			Start:     geom.Pose{Pos: geom.V(float64(-10*(i+1)), -5)},
@@ -295,8 +371,8 @@ func NewHarbour(cfg HarbourConfig) (*HarbourRig, error) {
 		rig.Injector.RegisterHandler(c.ID(), c)
 	}
 	if err := rig.Injector.Schedule(cfg.Faults...); err != nil {
-		return nil, err
+		return err
 	}
 	e.AddPreHook(rig.Injector.Hook())
-	return rig, nil
+	return nil
 }

@@ -102,6 +102,24 @@ type QuarryRig struct {
 	// allBuf caches the diggers+trucks concatenation for the per-tick
 	// neighbor closures (see all).
 	allBuf []*core.Constituent
+
+	// Warm-rig lifecycle state: the configuration wire() replays on
+	// Reset, the world baseline Snapshot captured, the parked
+	// constituent shells a Reset re-adopts by ID, and the pool key a
+	// Release files the rig under (empty for unpooled rigs).
+	cfg     QuarryConfig
+	wsnap   world.Snapshot
+	prev    map[string]*core.Constituent
+	poolKey string
+
+	// Parked per-seed layer components a Reset reuses in place when
+	// the replayed wiring matches (same fleet, same policy shape) —
+	// see the reuse sites in wire() for the matching rules. idsBuf is
+	// scratch for the collector fleet check.
+	prevCollector *metrics.Collector
+	prevInjector  *fault.Injector
+	prevModel     *core.DependencyModel
+	idsBuf        []string
 }
 
 // All returns every constituent (diggers then trucks).
@@ -140,7 +158,11 @@ func (r *QuarryRig) Delivered() float64 {
 	return sum
 }
 
-// NewQuarry builds the quarry rig.
+// NewQuarry builds the quarry rig: the seed-invariant chassis — world
+// geometry, route graph, zone index, engine, network — then wire(),
+// the per-seed wiring a warm Reset replays. Splitting the two is what
+// makes fresh-vs-reset byte-identity hold by construction: every line
+// that differs per seed lives in wire(), and both paths run it.
 func NewQuarry(cfg QuarryConfig) (*QuarryRig, error) {
 	cfg = cfg.withDefaults()
 	w := world.New()
@@ -173,18 +195,118 @@ func NewQuarry(cfg QuarryConfig) (*QuarryRig, error) {
 		netCfg = *cfg.Net
 	}
 	net := comm.NewNetwork(netCfg, sim.NewRNG(cfg.Seed))
+
+	rig := &QuarryRig{Engine: e, World: w, Net: net}
+	rig.Snapshot()
+	if err := rig.wire(cfg); err != nil {
+		return nil, err
+	}
+	return rig, nil
+}
+
+// Snapshot captures the rig's seed-invariant baseline — the world
+// state Reset rewinds to. NewQuarry takes it right after chassis
+// construction; callers that deliberately mutate the world before
+// running (blocking an edge, scripting weather) may re-take it to
+// make that mutation part of the baseline.
+func (r *QuarryRig) Snapshot() { r.wsnap = r.World.Snapshot() }
+
+// Reset returns the rig to its just-constructed state under a new
+// seed, in O(mutable state) instead of O(world): the engine, network
+// and world rewind in place (retaining the route graph, its memoized
+// path cache when no blocking diverged, the zone index, event-log and
+// heap backing arrays), constituent shells are re-adopted by ID with
+// their planners reseeded in place, and wire() replays the exact
+// per-seed wiring fresh construction runs. A reset rig's output is
+// byte-identical to a fresh rig's at the same seed — the warm-rig
+// differential tests hold tables, bundles and checkpoints to that.
+func (r *QuarryRig) Reset(seed int64) error {
+	cfg := r.cfg
+	cfg.Seed = seed
+	cfg = cfg.withDefaults()
+
+	// Park the constituent shells for wire() to re-adopt by ID.
+	if r.prev == nil {
+		r.prev = make(map[string]*core.Constituent, len(r.Diggers)+len(r.Trucks))
+	}
+	for _, c := range r.Diggers {
+		r.prev[c.ID()] = c
+	}
+	for _, c := range r.Trucks {
+		r.prev[c.ID()] = c
+	}
+
+	r.Engine.Reset(cfg.Seed)
+	r.Net.Reset(cfg.Seed)
+	r.World.Restore(r.wsnap)
+
+	clear(r.Diggers)
+	r.Diggers = r.Diggers[:0]
+	clear(r.Trucks)
+	r.Trucks = r.Trucks[:0]
+	clear(r.Hauls)
+	r.Hauls = r.Hauls[:0]
+	clear(r.Policies)
+	r.Policies = r.Policies[:0]
+	r.allBuf = r.allBuf[:0]
+	r.prevModel = r.Model
+	r.prevCollector = r.Collector
+	r.prevInjector = r.Injector
+	r.Model = nil
+	r.Collector = nil
+	r.Injector = nil
+	r.Director = nil
+	r.Board = nil
+	r.Authority = nil
+
+	return r.wire(cfg)
+}
+
+// constituent returns the parked shell for id reinitialised under cc
+// when the rig holds one from a prior run, or a fresh constituent.
+// Both paths run core.Constituent.Reinit, so a re-adopted shell is
+// identical to a fresh one by construction.
+func (r *QuarryRig) constituent(cc core.Config) *core.Constituent {
+	if c := r.prev[cc.ID]; c != nil {
+		delete(r.prev, cc.ID)
+		if err := c.Reinit(cc); err != nil {
+			panic(err)
+		}
+		return c
+	}
+	return core.MustConstituent(cc)
+}
+
+// wire performs every per-seed wiring step, in the exact order fresh
+// construction always has: network pre-hook, constituent registration
+// (network first, then engine — registration order drives broadcast
+// fan-out and step order), haul agents, the planner obstacle
+// snapshot, the policy layer, metrics, fault injection, and the shard
+// plan. Reset replays it against rewound substrate.
+func (r *QuarryRig) wire(cfg QuarryConfig) error {
+	e, w, net := r.Engine, r.World, r.Net
+	g := w.Graph()
 	e.AddPreHook(net.Hook())
 
-	rig := &QuarryRig{
-		Engine: e, World: w, Net: net,
-		Model:  core.NewDependencyModel(),
-		Groups: make(map[string]string),
+	r.cfg = cfg
+	// A parked dependency model and groups map empty in place — both
+	// are rebuilt from scratch below either way.
+	if r.prevModel != nil {
+		r.Model, r.prevModel = r.prevModel, nil
+		r.Model.Reinit()
+	} else {
+		r.Model = core.NewDependencyModel()
+	}
+	if r.Groups == nil {
+		r.Groups = make(map[string]string)
+	} else {
+		clear(r.Groups)
 	}
 	snap := &obstacleSnapshot{}
 
 	// Diggers.
 	operationalDigger := func() bool {
-		for _, d := range rig.Diggers {
+		for _, d := range r.Diggers {
 			if d.Operational() {
 				return true
 			}
@@ -194,7 +316,7 @@ func NewQuarry(cfg QuarryConfig) (*QuarryRig, error) {
 	for p := 0; p < cfg.Pairs; p++ {
 		id := fmt.Sprintf("digger%d", p+1)
 		net.MustRegister(id)
-		d := core.MustConstituent(core.Config{
+		d := r.constituent(core.Config{
 			ID:        id,
 			Spec:      vehicle.DefaultSpec(vehicle.KindDigger),
 			Start:     geom.Pose{Pos: geom.V(5, float64(6*(p+1))), Heading: 0},
@@ -205,16 +327,16 @@ func NewQuarry(cfg QuarryConfig) (*QuarryRig, error) {
 			Obstacles: snap.obstaclesFor(id),
 		})
 		e.MustRegister(d)
-		rig.Diggers = append(rig.Diggers, d)
-		rig.Model.MustAddConstituent(id, "digger", "truck")
-		rig.Groups[id] = fmt.Sprintf("pair%d", p+1)
+		r.Diggers = append(r.Diggers, d)
+		r.Model.MustAddConstituent(id, "digger", "truck")
+		r.Groups[id] = fmt.Sprintf("pair%d", p+1)
 	}
 	// Trucks.
 	for p := 0; p < cfg.Pairs; p++ {
 		for k := 0; k < cfg.TrucksPerPair; k++ {
 			id := fmt.Sprintf("truck%d_%d", p+1, k+1)
 			net.MustRegister(id)
-			c := core.MustConstituent(core.Config{
+			c := r.constituent(core.Config{
 				ID:        id,
 				Spec:      vehicle.DefaultSpec(vehicle.KindTruck),
 				Start:     geom.Pose{Pos: geom.V(float64(-14*(p*cfg.TrucksPerPair+k+1)), 0)},
@@ -225,16 +347,16 @@ func NewQuarry(cfg QuarryConfig) (*QuarryRig, error) {
 				Obstacles: snap.obstaclesFor(id),
 			})
 			e.MustRegister(c)
-			rig.Trucks = append(rig.Trucks, c)
-			rig.Model.MustAddConstituent(id, "truck", "digger")
-			rig.Groups[id] = fmt.Sprintf("pair%d", p+1)
+			r.Trucks = append(r.Trucks, c)
+			r.Model.MustAddConstituent(id, "truck", "digger")
+			r.Groups[id] = fmt.Sprintf("pair%d", p+1)
 		}
 	}
 
 	// Haul agents for trucks (all policies but orchestrated use them;
 	// orchestrated drives via TMS tasks instead).
 	if cfg.Policy != PolicyOrchestrated {
-		for _, c := range rig.Trucks {
+		for _, c := range r.Trucks {
 			c := c
 			h := agent.New(agent.Config{
 				C:               c,
@@ -246,40 +368,64 @@ func NewQuarry(cfg QuarryConfig) (*QuarryRig, error) {
 				ServiceNodes:    map[string]bool{"load": true},
 				ServiceTime:     3 * time.Second,
 				ServiceGate:     operationalDigger,
-				Neighbors:       rig.neighborsOf(c),
+				Neighbors:       r.neighborsOf(c),
 				World:           w,
 				Patience:        cfg.Patience,
 			})
 			e.MustRegister(h)
-			rig.Hauls = append(rig.Hauls, h)
+			r.Hauls = append(r.Hauls, h)
 		}
 	}
 
 	// Planner obstacle snapshot: filled sequentially each tick before
 	// the (possibly sharded) entity steps.
-	snap.track(rig.All())
+	snap.track(r.All())
 	e.AddPreHook(snap.hook())
 
-	if err := rig.wirePolicy(cfg); err != nil {
-		return nil, err
+	if err := r.wirePolicy(cfg); err != nil {
+		return err
 	}
 
-	// Metrics and fault injection.
-	probes := make([]metrics.Probe, 0, len(rig.All()))
-	for _, c := range rig.All() {
-		probes = append(probes, probeFor(c, w))
+	// Metrics. The probes close over constituent and body pointers the
+	// warm path re-adopts in place, so a parked collector whose probe
+	// IDs match the fleet (in order) reinitialises without rebuilding
+	// its probes or latch storage; any mismatch falls back to fresh
+	// construction.
+	if pc := r.prevCollector; pc != nil {
+		r.idsBuf = pc.ProbeIDs(r.idsBuf[:0])
+		match := len(r.idsBuf) == len(r.all())
+		if match {
+			for i, c := range r.all() {
+				if r.idsBuf[i] != c.ID() {
+					match = false
+					break
+				}
+			}
+		}
+		if match {
+			r.Collector, r.prevCollector = pc, nil
+			r.Collector.Reinit()
+		}
 	}
-	rig.Collector = metrics.NewCollector(probes...)
-	rig.Collector.SetInterventionCounter(func() int {
+	if r.Collector == nil {
+		probes := make([]metrics.Probe, 0, len(r.all()))
+		for _, c := range r.all() {
+			probes = append(probes, probeFor(c, w))
+		}
+		r.Collector = metrics.NewCollector(probes...)
+	}
+	r.Collector.SetInterventionCounter(func() int {
 		n := 0
-		for _, c := range rig.All() {
+		for _, c := range r.All() {
 			n += c.Interventions()
 		}
 		return n
 	})
-	e.AddPostHook(rig.Collector.Hook())
+	e.AddPostHook(r.Collector.Hook())
 
-	rig.Injector = fault.NewInjector(func(event string, f fault.Fault) {
+	// Fault injection: a parked injector empties in place; handlers
+	// and the schedule are re-registered from scratch either way.
+	logFault := func(event string, f fault.Fault) {
 		kind := sim.EventFaultInjected
 		if event == "clear" {
 			kind = sim.EventFaultCleared
@@ -288,16 +434,22 @@ func NewQuarry(cfg QuarryConfig) (*QuarryRig, error) {
 			Time: e.Env().Clock.Now(), Tick: e.Env().Clock.Tick(),
 			Kind: kind, Subject: f.Target, Detail: f.Kind.String() + "/" + f.ID,
 		})
-	})
-	for _, c := range rig.All() {
-		rig.Injector.RegisterHandler(c.ID(), c)
 	}
-	if err := rig.Injector.Schedule(cfg.Faults...); err != nil {
-		return nil, err
+	if r.prevInjector != nil {
+		r.Injector, r.prevInjector = r.prevInjector, nil
+		r.Injector.Reinit(logFault)
+	} else {
+		r.Injector = fault.NewInjector(logFault)
 	}
-	e.AddPreHook(rig.Injector.Hook())
-	rig.wireShards(cfg.Shards)
-	return rig, nil
+	for _, c := range r.all() {
+		r.Injector.RegisterHandler(c.ID(), c)
+	}
+	if err := r.Injector.Schedule(cfg.Faults...); err != nil {
+		return err
+	}
+	e.AddPreHook(r.Injector.Hook())
+	r.wireShards(cfg.Shards)
+	return nil
 }
 
 // shardCell is the spatial shard cell size in metres. The haul road

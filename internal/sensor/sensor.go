@@ -82,18 +82,72 @@ func NewSuiteStrict(sensors ...Sensor) (*Suite, error) {
 	return NewSuite(sensors...), nil
 }
 
+// Reinit resets the suite in place to what NewSuite(sensors...) would
+// build — the warm-rig path reuses suite allocations across runs.
+// When the definitions match the suite's current sensors by name and
+// order (the steady state: a reused rig rebuilds the same fleet), the
+// existing map entries and order slice are reused; otherwise the
+// storage is rebuilt as NewSuite would.
+func (st *Suite) Reinit(sensors ...Sensor) {
+	st.weatherFactor = 1
+	if len(sensors) == len(st.order) {
+		same := true
+		for i, s := range sensors {
+			if st.order[i] != s.Name {
+				same = false
+				break
+			}
+		}
+		if same {
+			for _, s := range sensors {
+				s.health = 1
+				*st.sensors[s.Name] = s
+			}
+			return
+		}
+	}
+	st.order = st.order[:0]
+	clear(st.sensors)
+	if st.sensors == nil {
+		st.sensors = make(map[string]*Sensor, len(sensors))
+	}
+	for _, s := range sensors {
+		s := s
+		s.health = 1
+		if _, dup := st.sensors[s.Name]; dup {
+			continue
+		}
+		st.sensors[s.Name] = &s
+		st.order = append(st.order, s.Name)
+	}
+}
+
+// standardSensors is the fixed definition list behind StandardSuite
+// and ReinitStandard — one source so the two paths cannot diverge.
+func standardSensors(nominalRange float64) [3]Sensor {
+	return [3]Sensor{
+		{Name: "long_range_radar", NominalRange: nominalRange, FrontFacing: true},
+		{Name: "camera", NominalRange: nominalRange * 0.6, FrontFacing: true},
+		{Name: "short_range", NominalRange: nominalRange * 0.3},
+	}
+}
+
 // StandardSuite returns a typical long+short range suite whose best
 // range equals nominalRange.
 func StandardSuite(nominalRange float64) *Suite {
-	st, err := NewSuiteStrict(
-		Sensor{Name: "long_range_radar", NominalRange: nominalRange, FrontFacing: true},
-		Sensor{Name: "camera", NominalRange: nominalRange * 0.6, FrontFacing: true},
-		Sensor{Name: "short_range", NominalRange: nominalRange * 0.3},
-	)
+	defs := standardSensors(nominalRange)
+	st, err := NewSuiteStrict(defs[:]...)
 	if err != nil {
 		panic(err) // the fixed definitions above can never collide
 	}
 	return st
+}
+
+// ReinitStandard resets the suite in place to exactly
+// StandardSuite(nominalRange), reusing its storage.
+func (st *Suite) ReinitStandard(nominalRange float64) {
+	defs := standardSensors(nominalRange)
+	st.Reinit(defs[:]...)
 }
 
 // Names returns the sensor names in definition order.

@@ -97,6 +97,12 @@ func (l *EventLog) resetKeepCapacity() {
 	}
 }
 
+// Reset empties the log for a new run while keeping its backing
+// allocations — the warm-rig counterpart of NewEventLog. A reset log
+// is observationally identical to a fresh one (the differential rig
+// tests prove it at the byte level).
+func (l *EventLog) Reset() { l.resetKeepCapacity() }
+
 // Len returns the number of recorded events.
 func (l *EventLog) Len() int { return len(l.events) }
 

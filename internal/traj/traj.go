@@ -196,6 +196,21 @@ func New(seed int64, cfg Config) *Planner {
 	}
 }
 
+// Reinit restores the planner, in place, to the state New(seed, cfg)
+// would produce, keeping the grid and scratch allocations: the RNG
+// reseeds to exactly the fresh stream, the grid re-sizes to the new
+// SafeDist (score() already resets it per planning event), and the
+// scratch buffers truncate. The warm-rig path for per-constituent
+// planner reuse across campaign seeds.
+func (p *Planner) Reinit(seed int64, cfg Config) {
+	p.cfg = cfg.withDefaults()
+	p.rng.Reseed(seed)
+	p.grid.Reset(p.cfg.SafeDist)
+	clear(p.pairBuf)
+	p.pairBuf = p.pairBuf[:0]
+	p.sitePos = p.sitePos[:0]
+}
+
 // Config returns the planner's effective configuration.
 func (p *Planner) Config() Config { return p.cfg }
 

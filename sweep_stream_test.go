@@ -267,6 +267,55 @@ func TestSweepStreamKillAndResumeByteIdentical(t *testing.T) {
 	}
 }
 
+// Kill-and-resume across the warm/cold rig boundary: a campaign that
+// folds its first seeds on pool-served warm rigs (Options.ReuseRigs),
+// dies, and resumes on fresh-construction cold rigs must still render
+// byte-identically to an uninterrupted all-cold campaign. The rig
+// source is an operational knob, so a checkpoint written by one must
+// be seamlessly continuable by the other — E19 is the arm because its
+// per-seed cell actually goes through the warm-rig pool.
+func TestSweepStreamKillResumeWarmColdMix(t *testing.T) {
+	e, ok := ExperimentByID("E19")
+	if !ok {
+		t.Fatal("E19 missing")
+	}
+	opt := Options{Quick: true}
+	seeds := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+
+	uninterrupted, err := SweepSeedsStream(e, opt, seeds, 2, CampaignConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warmOpt := opt
+	warmOpt.ReuseRigs = true
+	ckpt := filepath.Join(t.TempDir(), "campaign.json")
+	_, err = SweepSeedsStream(e, warmOpt, seeds, 2, CampaignConfig{
+		Checkpoint: ckpt,
+		Every:      2,
+		OnFold: func(done, total int) error {
+			if done >= 4 {
+				return fmt.Errorf("simulated kill")
+			}
+			return nil
+		},
+	})
+	if err == nil {
+		t.Fatal("aborted campaign should report the abort")
+	}
+
+	resumed, err := SweepSeedsStream(e, opt, seeds, 2, CampaignConfig{
+		Checkpoint: ckpt, Every: 2, Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Render() != uninterrupted.Render() {
+		t.Errorf("warm-then-cold resumed table differs from all-cold uninterrupted:\n%s\nvs\n%s",
+			resumed.Render(), uninterrupted.Render())
+	}
+}
+
 // A checkpoint from a different campaign must be rejected, not folded
 // into incompatible statistics.
 func TestSweepStreamResumeValidation(t *testing.T) {
